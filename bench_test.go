@@ -1,0 +1,292 @@
+package nexuspp_test
+
+// One benchmark per table/figure of the paper's evaluation, plus
+// micro-benchmarks of the load-bearing structures. The figure benchmarks
+// run one representative simulation per iteration and report the achieved
+// speedup as a custom metric; `go run ./cmd/nexusbench` regenerates the
+// complete tables with every operating point.
+
+import (
+	"sync"
+	"testing"
+
+	"nexuspp"
+	"nexuspp/internal/core"
+	"nexuspp/internal/sim"
+	"nexuspp/internal/softrts"
+	"nexuspp/internal/starss"
+	"nexuspp/internal/workload"
+)
+
+// baselines caches 1-worker makespans shared across benchmarks.
+var baselines struct {
+	once      sync.Once
+	contended sim.Time // independent tasks, memory contention
+	free      sim.Time // independent tasks, contention-free
+	wavefront sim.Time
+}
+
+func baseline(b *testing.B) {
+	b.Helper()
+	baselines.once.Do(func() {
+		run := func(cfg core.Config, src workload.Source) sim.Time {
+			res, err := core.Run(cfg, src)
+			if err != nil {
+				panic(err)
+			}
+			return res.Makespan
+		}
+		baselines.contended = run(core.DefaultConfig(1), workload.Independent(42))
+		cf := core.DefaultConfig(1)
+		cf.Mem.ContentionFree = true
+		baselines.free = run(cf, workload.Independent(42))
+		baselines.wavefront = run(core.DefaultConfig(1), workload.Wavefront(42))
+	})
+}
+
+func simOnce(b *testing.B, cfg core.Config, mk func() workload.Source, base sim.Time) {
+	b.Helper()
+	var last *core.Result
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(cfg, mk())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if base > 0 && last != nil {
+		b.ReportMetric(float64(base)/float64(last.Makespan), "speedup")
+	}
+	if last != nil {
+		b.ReportMetric(float64(last.TasksExecuted)/b.Elapsed().Seconds()*float64(b.N), "simtasks/s")
+	}
+}
+
+// BenchmarkTable2 measures generating the Gaussian task graph whose counts
+// and weights reproduce Table II (n=1000: 500499 tasks).
+func BenchmarkTable2_GaussianGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		src := workload.Gaussian(workload.GaussianConfig{N: 1000})
+		n := 0
+		for {
+			if _, ok := src.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if n != workload.GaussianTaskCount(1000) {
+			b.Fatalf("generated %d tasks", n)
+		}
+	}
+}
+
+// BenchmarkFig6 runs the design-space-exploration operating points of
+// Figure 6 (independent tasks, 256 cores, contention-free).
+func BenchmarkFig6(b *testing.B) {
+	baseline(b)
+	b.Run("DT=2K_TP=8K", func(b *testing.B) {
+		cfg := core.DefaultConfig(256)
+		cfg.Mem.ContentionFree = true
+		cfg.TaskPoolEntries = 8192
+		cfg.DepTableEntries = 2048
+		simOnce(b, cfg, func() workload.Source { return workload.Independent(42) }, baselines.free)
+	})
+	b.Run("DT=8K_TP=512", func(b *testing.B) {
+		cfg := core.DefaultConfig(256)
+		cfg.Mem.ContentionFree = true
+		cfg.TaskPoolEntries = 512
+		cfg.DepTableEntries = 8192
+		simOnce(b, cfg, func() workload.Source { return workload.Independent(42) }, baselines.free)
+	})
+}
+
+// BenchmarkFig7 runs each Figure 4 dependency pattern on 64 cores.
+func BenchmarkFig7(b *testing.B) {
+	baseline(b)
+	patterns := []struct {
+		name string
+		p    workload.Pattern
+		base sim.Time
+	}{
+		{"independent", workload.PatternIndependent, 0},
+		{"wavefront", workload.PatternWavefront, 0},
+		{"horizontal", workload.PatternHorizontal, 0},
+		{"vertical", workload.PatternVertical, 0},
+	}
+	for _, pat := range patterns {
+		pat := pat
+		b.Run(pat.name, func(b *testing.B) {
+			base := baselines.contended
+			if pat.p == workload.PatternWavefront {
+				base = baselines.wavefront
+			} else if pat.p != workload.PatternIndependent {
+				base = 0 // per-pattern baselines are in nexusbench fig7
+			}
+			simOnce(b, core.DefaultConfig(64), func() workload.Source {
+				return workload.Grid(workload.GridConfig{Pattern: pat.p, Seed: 42})
+			}, base)
+		})
+	}
+}
+
+// BenchmarkFig8 runs Gaussian elimination operating points of Figure 8.
+func BenchmarkFig8(b *testing.B) {
+	sizes := []struct {
+		n, cores int
+	}{
+		{250, 4},
+		{250, 64},
+		{500, 16},
+	}
+	for _, s := range sizes {
+		s := s
+		b.Run("n"+itoa(s.n)+"_c"+itoa(s.cores), func(b *testing.B) {
+			base, err := core.Run(core.DefaultConfig(1), workload.Gaussian(workload.GaussianConfig{N: s.n}))
+			if err != nil {
+				b.Fatal(err)
+			}
+			simOnce(b, core.DefaultConfig(s.cores), func() workload.Source {
+				return workload.Gaussian(workload.GaussianConfig{N: s.n})
+			}, base.Makespan)
+		})
+	}
+}
+
+// BenchmarkHeadline runs the paper's three headline operating points
+// (SSV: 54x / 143x / 221x).
+func BenchmarkHeadline(b *testing.B) {
+	baseline(b)
+	b.Run("64cores_contention", func(b *testing.B) {
+		simOnce(b, core.DefaultConfig(64),
+			func() workload.Source { return workload.Independent(42) }, baselines.contended)
+	})
+	b.Run("256cores_contention_free", func(b *testing.B) {
+		cfg := core.DefaultConfig(256)
+		cfg.Mem.ContentionFree = true
+		simOnce(b, cfg, func() workload.Source { return workload.Independent(42) }, baselines.free)
+	})
+	b.Run("256cores_no_prep", func(b *testing.B) {
+		cfg := core.DefaultConfig(256)
+		cfg.Mem.ContentionFree = true
+		cfg.DisableTaskPrep = true
+		simOnce(b, cfg, func() workload.Source { return workload.Independent(42) }, baselines.free)
+	})
+}
+
+// BenchmarkAblationBuffering sweeps the Task Controller buffering depth.
+func BenchmarkAblationBuffering(b *testing.B) {
+	baseline(b)
+	for _, depth := range []int{1, 2, 4} {
+		depth := depth
+		b.Run("depth"+itoa(depth), func(b *testing.B) {
+			cfg := core.DefaultConfig(64)
+			cfg.BufferingDepth = depth
+			simOnce(b, cfg, func() workload.Source { return workload.Independent(42) }, baselines.contended)
+		})
+	}
+}
+
+// BenchmarkRTS contrasts the software runtime model with Nexus++.
+func BenchmarkRTS(b *testing.B) {
+	b.Run("software_16cores", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := softrts.Run(softrts.DefaultConfig(16), workload.Independent(42)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("nexuspp_16cores", func(b *testing.B) {
+		baseline(b)
+		simOnce(b, core.DefaultConfig(16),
+			func() workload.Source { return workload.Independent(42) }, baselines.contended)
+	})
+}
+
+// --- Micro-benchmarks of the load-bearing structures ---------------------
+
+func BenchmarkSimEngine(b *testing.B) {
+	eng := sim.NewEngine()
+	var next func()
+	n := 0
+	next = func() {
+		n++
+		if n < b.N {
+			eng.After(2*sim.Nanosecond, next)
+		}
+	}
+	b.ResetTimer()
+	eng.After(0, next)
+	eng.Run()
+}
+
+func BenchmarkDepTableProcessNew(b *testing.B) {
+	dt := core.NewDepTable(4096, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i%2048+1) * 1024
+		granted, _, _ := dt.ProcessNew(int32(i), addr, 1024, true)
+		if granted {
+			dt.ProcessFinished(int32(i), addr, true)
+		}
+	}
+}
+
+func BenchmarkRuntimeThroughput(b *testing.B) {
+	rt := starss.New(starss.Config{Workers: 4, Window: 256})
+	defer rt.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rt.Submit(starss.Task{
+			Deps: []starss.Dep{starss.InOut(i % 64)},
+			Run:  func() {},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rt.Barrier()
+}
+
+func BenchmarkRuntimeGaussian64(b *testing.B) {
+	// End-to-end: the real runtime solving the Gaussian task graph shape.
+	for i := 0; i < b.N; i++ {
+		rt := nexuspp.NewRuntime(nexuspp.RuntimeConfig{Workers: 4})
+		n := 64
+		for col := 1; col < n; col++ {
+			col := col
+			rt.MustSubmit(nexuspp.Task{
+				Deps: []nexuspp.Dep{nexuspp.InOut(col)},
+				Run:  func() {},
+			})
+			for row := col + 1; row <= n; row++ {
+				row := row
+				rt.MustSubmit(nexuspp.Task{
+					Deps: []nexuspp.Dep{nexuspp.In(col), nexuspp.InOut(row)},
+					Run:  func() {},
+				})
+			}
+		}
+		rt.Shutdown()
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

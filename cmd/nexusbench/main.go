@@ -1,0 +1,110 @@
+// Command nexusbench regenerates every table and figure of the Nexus++
+// paper's evaluation, plus the ablations documented in DESIGN.md.
+//
+// Usage:
+//
+//	nexusbench [flags] [experiment...]
+//
+// Experiments: table2, fig6, fig7, fig8, headline, ablation-buffering,
+// ablation-dummies, rts, nexus, all (default).
+//
+// Flags:
+//
+//	-full      run paper-scale operating points (Gaussian n=3000/5000)
+//	-csv       emit CSV instead of aligned text
+//	-seed N    trace-generator seed (default 42)
+//	-progress  log each simulation run to stderr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nexuspp/internal/experiments"
+	"nexuspp/internal/report"
+)
+
+type driver struct {
+	name string
+	fn   func(experiments.Options) (*report.Table, error)
+}
+
+func main() {
+	var (
+		full     = flag.Bool("full", false, "run paper-scale operating points (minutes)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		chart    = flag.Bool("chart", false, "also render figure experiments as text charts")
+		seed     = flag.Uint64("seed", 42, "trace generator seed")
+		progress = flag.Bool("progress", false, "log each simulation run to stderr")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Full: *full, Seed: *seed}
+	if *progress {
+		opts.Progress = os.Stderr
+	}
+
+	drivers := []driver{
+		{"table2", func(o experiments.Options) (*report.Table, error) { return experiments.Table2(o), nil }},
+		{"fig6", experiments.Fig6},
+		{"fig7", experiments.Fig7},
+		{"fig8", experiments.Fig8},
+		{"headline", experiments.Headline},
+		{"ablation-buffering", experiments.AblationBuffering},
+		{"ablation-dummies", experiments.AblationDummies},
+		{"ablation-ports", experiments.AblationPorts},
+		{"ablation-renaming", experiments.AblationRenaming},
+		{"rts", experiments.RTSComparison},
+		{"nexus", experiments.NexusComparison},
+		{"cholesky", experiments.Cholesky},
+	}
+
+	want := flag.Args()
+	if len(want) == 0 || (len(want) == 1 && want[0] == "all") {
+		want = nil
+		for _, d := range drivers {
+			want = append(want, d.name)
+		}
+	}
+	byName := make(map[string]driver, len(drivers))
+	for _, d := range drivers {
+		byName[d.name] = d
+	}
+
+	exit := 0
+	for i, name := range want {
+		d, ok := byName[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "nexusbench: unknown experiment %q\n", name)
+			exit = 2
+			continue
+		}
+		tbl, err := d.fn(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nexusbench: %s: %v\n", name, err)
+			exit = 1
+			continue
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := renderTable(os.Stdout, tbl, *csv); err != nil {
+			fmt.Fprintf(os.Stderr, "nexusbench: %s: %v\n", name, err)
+			exit = 1
+		}
+		if *chart && len(tbl.Series) > 0 {
+			fmt.Println()
+			fmt.Print(report.Chart(tbl.Title+" (chart)", 64, 16, tbl.Series...))
+		}
+	}
+	os.Exit(exit)
+}
+
+func renderTable(w io.Writer, t *report.Table, csv bool) error {
+	if csv {
+		return t.RenderCSV(w)
+	}
+	return t.Render(w)
+}

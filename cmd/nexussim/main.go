@@ -1,0 +1,153 @@
+// Command nexussim runs one Nexus++ simulation and prints its metrics.
+//
+// Examples:
+//
+//	nexussim -workload independent -workers 64
+//	nexussim -workload wavefront -workers 16 -depth 1
+//	nexussim -workload gaussian -n 250 -workers 4
+//	nexussim -workload independent -workers 256 -contention-free -baseline 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"nexuspp/internal/core"
+	"nexuspp/internal/nexus1"
+	"nexuspp/internal/softrts"
+	"nexuspp/internal/workload"
+)
+
+func main() {
+	var (
+		wl       = flag.String("workload", "independent", "workload: independent, wavefront, horizontal, vertical, gaussian")
+		system   = flag.String("system", "nexuspp", "system to simulate: nexuspp, nexus (original), softrts")
+		workers  = flag.Int("workers", 16, "number of worker cores")
+		depth    = flag.Int("depth", 2, "task-controller buffering depth (2 = double buffering)")
+		n        = flag.Int("n", 250, "matrix dimension for the gaussian workload")
+		rows     = flag.Int("rows", workload.DefaultRows, "grid rows for the Figure 4 workloads")
+		cols     = flag.Int("cols", workload.DefaultCols, "grid cols for the Figure 4 workloads")
+		seed     = flag.Uint64("seed", 42, "trace generator seed")
+		tpSize   = flag.Int("tp", 1024, "Task Pool entries")
+		dtSize   = flag.Int("dt", 4096, "Dependence Table entries")
+		koSlots  = flag.Int("ko", 8, "kick-off list slots per entry")
+		ports    = flag.Int("table-ports", 0, "Task Pool / Dependence Table ports (0 = fully pipelined)")
+		rename   = flag.Bool("rename", false, "eliminate WAR/WAW hazards for pure writers (renaming extension)")
+		contFree = flag.Bool("contention-free", false, "disable memory-port contention")
+		noPrep   = flag.Bool("no-prep", false, "disable the master's 30ns task preparation")
+		baseline = flag.Int("baseline", 0, "also run with this many workers and report speedup (0 = off)")
+		verbose  = flag.Bool("v", false, "print block utilisation and structure statistics")
+	)
+	flag.Parse()
+
+	mk := func() workload.Source { return makeWorkload(*wl, *rows, *cols, *n, *seed) }
+
+	if *system == "softrts" {
+		runSoftRTS(mk, *workers, *baseline)
+		return
+	}
+	var cfg core.Config
+	switch *system {
+	case "nexuspp":
+		cfg = core.DefaultConfig(*workers)
+		cfg.BufferingDepth = *depth
+	case "nexus":
+		cfg = nexus1.Config(*workers)
+	default:
+		fmt.Fprintf(os.Stderr, "nexussim: unknown system %q\n", *system)
+		os.Exit(2)
+	}
+	cfg.TaskPoolEntries = *tpSize
+	cfg.DepTableEntries = *dtSize
+	cfg.KickOffSlots = *koSlots
+	cfg.TablePorts = *ports
+	cfg.RenameFalseDeps = *rename
+	cfg.Mem.ContentionFree = *contFree
+	cfg.DisableTaskPrep = *noPrep
+
+	res, err := core.Run(cfg, mk())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nexussim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload  %s\n", res.Workload)
+	fmt.Printf("workers   %d (buffering depth %d)\n", res.Workers, *depth)
+	fmt.Printf("tasks     %d\n", res.TasksExecuted)
+	fmt.Printf("makespan  %v\n", res.Makespan)
+	fmt.Printf("core util %.1f%%\n", res.CoreUtilization*100)
+	if *baseline > 0 {
+		bcfg := cfg
+		bcfg.Workers = *baseline
+		base, err := core.Run(bcfg, mk())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nexussim: baseline:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("speedup   %.2fx over %d worker(s) (%v)\n",
+			float64(base.Makespan)/float64(res.Makespan), *baseline, base.Makespan)
+	}
+	if *verbose {
+		fmt.Printf("master stall     %v\n", res.MasterStall)
+		fmt.Printf("dummy TDs        %d\n", res.DummyTDs)
+		fmt.Printf("dummy DT segs    %d\n", res.DummyDTSegments)
+		fmt.Printf("max TP occupancy %d\n", res.MaxTPOccupancy)
+		fmt.Printf("max DT occupancy %d\n", res.MaxDTOccupancy)
+		fmt.Printf("max DT chain     %d\n", res.MaxDTChain)
+		fmt.Printf("max KO segments  %d\n", res.MaxKOSegments)
+		fmt.Printf("DT full stalls   %d\n", res.DTFullStalls)
+		fmt.Printf("mem high water   %d (waits %d)\n", res.MemHighWater, res.MemWaits)
+		fmt.Printf("events           %d\n", res.Events)
+		blocks := make([]string, 0, len(res.BlockUtil))
+		for b := range res.BlockUtil {
+			blocks = append(blocks, b)
+		}
+		sort.Strings(blocks)
+		for _, b := range blocks {
+			fmt.Printf("block %-16s %5.1f%%\n", b, res.BlockUtil[b]*100)
+		}
+	}
+}
+
+// runSoftRTS handles the software-runtime system variant.
+func runSoftRTS(mk func() workload.Source, workers, baseline int) {
+	res, err := softrts.Run(softrts.DefaultConfig(workers), mk())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nexussim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload  %s (software RTS)\n", res.Workload)
+	fmt.Printf("workers   %d\n", res.Workers)
+	fmt.Printf("tasks     %d\n", res.TasksExecuted)
+	fmt.Printf("makespan  %v\n", res.Makespan)
+	fmt.Printf("master    %.1f%% busy in runtime code\n", res.MasterUtilization*100)
+	if baseline > 0 {
+		base, err := softrts.Run(softrts.DefaultConfig(baseline), mk())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nexussim: baseline:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("speedup   %.2fx over %d worker(s) (%v)\n",
+			float64(base.Makespan)/float64(res.Makespan), baseline, base.Makespan)
+	}
+}
+
+func makeWorkload(name string, rows, cols, n int, seed uint64) workload.Source {
+	switch name {
+	case "independent":
+		return workload.Grid(workload.GridConfig{Pattern: workload.PatternIndependent, Rows: rows, Cols: cols, Seed: seed})
+	case "wavefront":
+		return workload.Grid(workload.GridConfig{Pattern: workload.PatternWavefront, Rows: rows, Cols: cols, Seed: seed})
+	case "horizontal":
+		return workload.Grid(workload.GridConfig{Pattern: workload.PatternHorizontal, Rows: rows, Cols: cols, Seed: seed})
+	case "vertical":
+		return workload.Grid(workload.GridConfig{Pattern: workload.PatternVertical, Rows: rows, Cols: cols, Seed: seed})
+	case "gaussian":
+		return workload.Gaussian(workload.GaussianConfig{N: n})
+	default:
+		fmt.Fprintf(os.Stderr, "nexussim: unknown workload %q\n", name)
+		os.Exit(2)
+		return nil
+	}
+}

@@ -1,0 +1,95 @@
+// Command tracegen generates, inspects and converts Nexus++ task traces.
+//
+// Generate a trace file:
+//
+//	tracegen -workload wavefront -o h264.trace
+//	tracegen -workload gaussian -n 250 -o gauss250.trace
+//
+// Inspect an existing trace:
+//
+//	tracegen -dump h264.trace -limit 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nexuspp/internal/trace"
+	"nexuspp/internal/workload"
+)
+
+func main() {
+	var (
+		wl    = flag.String("workload", "wavefront", "workload: independent, wavefront, horizontal, vertical, gaussian")
+		n     = flag.Int("n", 250, "matrix dimension for gaussian")
+		rows  = flag.Int("rows", workload.DefaultRows, "grid rows")
+		cols  = flag.Int("cols", workload.DefaultCols, "grid cols")
+		seed  = flag.Uint64("seed", 42, "generator seed")
+		out   = flag.String("o", "", "output trace file (required unless -dump)")
+		dump  = flag.String("dump", "", "trace file to inspect instead of generating")
+		limit = flag.Int("limit", 10, "tasks to print when dumping")
+	)
+	flag.Parse()
+
+	if *dump != "" {
+		f, err := os.Open(*dump)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := trace.Read(f)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.Dump(os.Stdout, tr, *limit); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *out == "" {
+		fatal(fmt.Errorf("either -o or -dump is required"))
+	}
+	var src workload.Source
+	switch *wl {
+	case "independent", "wavefront", "horizontal", "vertical":
+		p := map[string]workload.Pattern{
+			"independent": workload.PatternIndependent,
+			"wavefront":   workload.PatternWavefront,
+			"horizontal":  workload.PatternHorizontal,
+			"vertical":    workload.PatternVertical,
+		}[*wl]
+		src = workload.Grid(workload.GridConfig{Pattern: p, Rows: *rows, Cols: *cols, Seed: *seed})
+	case "gaussian":
+		if workload.GaussianTaskCount(*n) > 20_000_000 {
+			fatal(fmt.Errorf("gaussian n=%d would materialise %d tasks; choose a smaller n for trace files", *n, workload.GaussianTaskCount(*n)))
+		}
+		src = workload.Gaussian(workload.GaussianConfig{N: *n})
+	default:
+		fatal(fmt.Errorf("unknown workload %q", *wl))
+	}
+
+	tr := workload.Collect(src)
+	if err := tr.Validate(); err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := trace.Write(f, tr); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	st := tr.Stats()
+	fmt.Printf("wrote %s: %d tasks, mean exec %v, mean mem %v\n", *out, st.Tasks, st.MeanExec, st.MeanMem)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

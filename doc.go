@@ -1,0 +1,29 @@
+// Package nexuspp reproduces "Hardware-Based Task Dependency Resolution for
+// the StarSs Programming Model" (Dallou & Juurlink, ICPP Workshops 2012):
+// the Nexus++ hardware task-management accelerator, the simulation
+// infrastructure used to evaluate it, the baselines it is compared against,
+// and a real executing StarSs-style task runtime built on the same
+// dependency-resolution algorithm.
+//
+// The package itself is a thin facade over the internal packages; see
+// README.md for the architecture and DESIGN.md for the paper-to-code map.
+//
+// Simulating Nexus++:
+//
+//	cfg := nexuspp.DefaultConfig(64)            // 64 worker cores, Table IV defaults
+//	res, err := nexuspp.Simulate(cfg, nexuspp.Wavefront(42))
+//	fmt.Println(res.Makespan, res.CoreUtilization)
+//
+// Running real Go tasks with StarSs semantics:
+//
+//	rt := nexuspp.NewRuntime(nexuspp.RuntimeConfig{Workers: 8})
+//	rt.MustSubmit(nexuspp.Task{
+//		Deps: []nexuspp.Dep{nexuspp.Out("block")},
+//		Run:  func() { produce() },
+//	})
+//	rt.MustSubmit(nexuspp.Task{
+//		Deps: []nexuspp.Dep{nexuspp.In("block")},
+//		Run:  func() { consume() },
+//	})
+//	rt.Shutdown()
+package nexuspp

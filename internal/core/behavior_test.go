@@ -1,0 +1,254 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"nexuspp/internal/depgraph"
+	"nexuspp/internal/sim"
+	"nexuspp/internal/trace"
+	"nexuspp/internal/workload"
+)
+
+// Behavioral tests of the Maestro blocks, the master core and the Task
+// Controllers beyond the end-to-end suite in system_test.go.
+
+func TestHardParamLimitAbortsRun(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.MaxParamsPerTD = 5
+	cfg.HardParamLimit = true
+	wide := wideSpec(0, 6)
+	wide.Exec = sim.Microsecond
+	src := workload.FromTrace(&trace.Trace{Name: "wide", Tasks: []trace.TaskSpec{wide}})
+	_, err := Run(cfg, src)
+	var fatal FatalModelError
+	if !errors.As(err, &fatal) {
+		t.Fatalf("err = %v, want FatalModelError", err)
+	}
+	if !strings.Contains(err.Error(), "6 parameters") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHardKickOffLimitAbortsRun(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.HardKickOffLimit = true
+	tasks := []trace.TaskSpec{{
+		ID:     0,
+		Params: []trace.Param{{Addr: 0xF00, Size: 4, Mode: trace.Out}},
+		Exec:   time500us(),
+	}}
+	for i := 1; i <= 20; i++ {
+		tasks = append(tasks, trace.TaskSpec{
+			ID:     uint64(i),
+			Params: []trace.Param{{Addr: 0xF00, Size: 4, Mode: trace.In}},
+			Exec:   sim.Microsecond,
+		})
+	}
+	_, err := Run(cfg, workload.FromTrace(&trace.Trace{Name: "fan", Tasks: tasks}))
+	var fatal FatalModelError
+	if !errors.As(err, &fatal) {
+		t.Fatalf("err = %v, want FatalModelError", err)
+	}
+	if !strings.Contains(err.Error(), "kick-off") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func time500us() sim.Time { return 500 * sim.Microsecond }
+
+func TestRoundRobinLoadBalancing(t *testing.T) {
+	// Equal independent tasks on 4 cores must be spread almost evenly —
+	// the paper's round-robin Worker Cores IDs mechanism.
+	cfg := testConfig(4)
+	src := workload.Grid(workload.GridConfig{
+		Pattern: workload.PatternIndependent, Rows: 10, Cols: 10, Seed: 1,
+		Times: trace.FixedTimes{Exec: 10 * sim.Microsecond, MemRead: sim.Microsecond, MemWrite: sim.Microsecond},
+	})
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksExecuted != 100 {
+		t.Fatalf("executed %d", res.TasksExecuted)
+	}
+	for i, tc := range s.tcs {
+		if tc.TasksRun() < 20 || tc.TasksRun() > 30 {
+			t.Errorf("core %d ran %d tasks, want ~25", i, tc.TasksRun())
+		}
+	}
+}
+
+func TestMasterSubmitsAllAndStallsAccounted(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.TDsListEntries = 2
+	cfg.TaskPoolEntries = 2
+	src := workload.Grid(workload.GridConfig{
+		Pattern: workload.PatternIndependent, Rows: 4, Cols: 4, Seed: 1,
+		Times: trace.FixedTimes{Exec: 100 * sim.Microsecond, MemRead: sim.Microsecond, MemWrite: sim.Microsecond},
+	})
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.master.Submitted() != 16 || !s.master.Done() {
+		t.Fatalf("submitted %d done=%v", s.master.Submitted(), s.master.Done())
+	}
+	if res.MasterStall <= 0 {
+		t.Fatal("expected master stalls with 2-deep lists and slow tasks")
+	}
+	// Stall time can never exceed the makespan.
+	if res.MasterStall > res.Makespan {
+		t.Fatalf("stall %v > makespan %v", res.MasterStall, res.Makespan)
+	}
+}
+
+func TestBlockUtilizationAccounting(t *testing.T) {
+	res := mustRun(t, testConfig(4), smallGrid(workload.PatternIndependent, 8, 8, 1))
+	sum := 0.0
+	for name, u := range res.BlockUtil {
+		if u < 0 || u > 1 {
+			t.Errorf("block %s utilization %v out of range", name, u)
+		}
+		sum += u
+	}
+	if sum == 0 {
+		t.Error("all blocks idle?")
+	}
+}
+
+func TestFinishedOrderPerCoreIsFIFO(t *testing.T) {
+	// Tasks delivered to one core complete in delivery order, which is the
+	// invariant the CiFinTasks list relies on. With one worker and
+	// distinct exec times, the recorded exec intervals must be disjoint
+	// and ordered by task ID (submission order = delivery order here).
+	cfg := testConfig(1)
+	src := workload.Grid(workload.GridConfig{
+		Pattern: workload.PatternIndependent, Rows: 3, Cols: 4, Seed: 2,
+	})
+	res := mustRun(t, cfg, src)
+	for i := 1; i < len(res.ExecIntervals); i++ {
+		if res.ExecIntervals[i].Start < res.ExecIntervals[i-1].End {
+			t.Fatalf("exec intervals overlap on one core: %v then %v",
+				res.ExecIntervals[i-1], res.ExecIntervals[i])
+		}
+	}
+}
+
+func TestDeepBufferingKeepsSemantics(t *testing.T) {
+	cfg := testConfig(3)
+	cfg.BufferingDepth = 5
+	validate(t, cfg, smallGrid(workload.PatternWavefront, 10, 10, 4))
+}
+
+func TestManyWorkersFewTasks(t *testing.T) {
+	cfg := testConfig(128)
+	validate(t, cfg, smallGrid(workload.PatternIndependent, 2, 3, 1))
+}
+
+func TestZeroMemoryPhases(t *testing.T) {
+	// Tasks with no memory time exercise the zero-duration Access path.
+	cfg := testConfig(2)
+	src := workload.Grid(workload.GridConfig{
+		Pattern: workload.PatternVertical, Rows: 5, Cols: 4, Seed: 1,
+		Times: trace.FixedTimes{Exec: sim.Microsecond},
+	})
+	validate(t, cfg, src)
+}
+
+func TestExecIntervalsWithinSchedule(t *testing.T) {
+	res := validate(t, testConfig(4), smallGrid(workload.PatternWavefront, 6, 6, 3))
+	for i := range res.Schedule {
+		s, e := res.Schedule[i], res.ExecIntervals[i]
+		if e.Start < s.Start || e.End > s.End {
+			t.Fatalf("task %d exec %v outside fetch/commit span %v", i, e, s)
+		}
+	}
+}
+
+func TestSinglePortedTablesStillCorrect(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.TablePorts = 1
+	validate(t, cfg, smallGrid(workload.PatternWavefront, 10, 10, 6))
+	validate(t, cfg, workload.Gaussian(workload.GaussianConfig{N: 16}))
+}
+
+func TestSinglePortedTablesSlowerAtScale(t *testing.T) {
+	// With tiny tasks the Maestro throughput is the bottleneck, so
+	// serialising the blocks on shared table ports must cost makespan.
+	mk := func() workload.Source {
+		return workload.Grid(workload.GridConfig{
+			Pattern: workload.PatternIndependent, Rows: 20, Cols: 20, Seed: 2,
+			Times: trace.FixedTimes{Exec: 200 * sim.Nanosecond, MemRead: 20 * sim.Nanosecond, MemWrite: 20 * sim.Nanosecond},
+		})
+	}
+	ideal := testConfig(32)
+	single := testConfig(32)
+	single.TablePorts = 1
+	a := mustRun(t, ideal, mk())
+	b := mustRun(t, single, mk())
+	if b.Makespan <= a.Makespan {
+		t.Fatalf("single-ported (%v) should be slower than multi-ported (%v)", b.Makespan, a.Makespan)
+	}
+}
+
+func TestNegativeTablePortsRejected(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.TablePorts = -1
+	if cfg.Validate() == nil {
+		t.Fatal("negative TablePorts accepted")
+	}
+}
+
+func TestCholeskyWorkloadValidates(t *testing.T) {
+	// The tiled Cholesky graph mixes chains, fan-out and inout reuse —
+	// the densest exercise of the Dependence Table in the suite.
+	res := validate(t, testConfig(8), workload.Cholesky(workload.CholeskyConfig{Tiles: 8}))
+	if res.TasksExecuted != uint64(workload.CholeskyTaskCount(8)) {
+		t.Fatalf("executed %d", res.TasksExecuted)
+	}
+	// And under renaming (gemm outputs are inout, so the graph is mostly
+	// unchanged, but the run must stay correct).
+	cfg := testConfig(8)
+	cfg.RenameFalseDeps = true
+	src := workload.Cholesky(workload.CholeskyConfig{Tiles: 8})
+	r2, err := Run(cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := depgraph.BuildRenamed(workload.Cholesky(workload.CholeskyConfig{Tiles: 8}))
+	if err := g.ValidateSchedule(r2.Schedule); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyScalesWithCores(t *testing.T) {
+	mk := func() workload.Source {
+		return workload.Cholesky(workload.CholeskyConfig{Tiles: 12})
+	}
+	one := mustRun(t, testConfig(1), mk())
+	eight := mustRun(t, testConfig(8), mk())
+	sp := float64(one.Makespan) / float64(eight.Makespan)
+	if sp < 3 {
+		t.Fatalf("cholesky speedup on 8 cores = %.2f, want >= 3", sp)
+	}
+}
+
+func TestEventCountScalesLinearly(t *testing.T) {
+	// Sanity guard on simulator cost: events per task stay bounded, which
+	// keeps the 12.5M-task Gaussian runs tractable.
+	res := mustRun(t, testConfig(8), smallGrid(workload.PatternIndependent, 20, 20, 1))
+	perTask := float64(res.Events) / 400
+	if perTask > 40 {
+		t.Fatalf("%.1f events per task, model got too chatty", perTask)
+	}
+}

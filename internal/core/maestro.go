@@ -1,0 +1,427 @@
+package core
+
+import (
+	"fmt"
+
+	"nexuspp/internal/sim"
+	"nexuspp/internal/trace"
+)
+
+// Maestro is the Task Maestro: the central Nexus++ module responsible for
+// dependency resolution, task scheduling and load balancing. Its hardware
+// blocks are modeled as single-item servers wired by the FIFO lists of the
+// paper's Figure 2; every block is triggered by writes to its input FIFO
+// (the paper's 1-bit events) and re-kicks itself after each service.
+type Maestro struct {
+	eng *sim.Engine
+	cfg *Config
+	tp  *TaskPool
+	dt  *DepTable
+
+	// FIFO lists (paper Table IV).
+	tdsSizes    *sim.FIFO[int]
+	tdsBuffer   *sim.FIFO[trace.TaskSpec]
+	newTasks    *sim.FIFO[int32]
+	globalReady *sim.FIFO[int32]
+	workerIDs   *sim.FIFO[int]
+	rdyTasks    []*sim.FIFO[int32]
+	finTasks    []*sim.FIFO[int32]
+	finishNotif *sim.FIFO[int]
+
+	// Blocks.
+	writeTP   *sim.Server
+	checkDeps *sim.Server
+	schedule  *sim.Server
+	sendTDs   *sim.Server
+	handleFin *sim.Server
+
+	// Check Deps in-flight state: the task being checked and the next
+	// parameter index (preserved across full-table stalls).
+	cdTask    int32
+	cdParam   int
+	cdWaiting bool // stalled on a full Dependence Table
+
+	// Send TDs round-robin fairness pointer.
+	rrPtr int
+
+	// Optional single-ported table modeling (Config.TablePorts): blocks
+	// acquire the ports of the tables they touch for their whole service.
+	tpPort, dtPort *sim.Resource
+	wtpPending     bool
+	cdPending      bool
+	stdPending     bool
+	hfPending      bool
+
+	// Destination Task Controllers, one per worker core.
+	tcs []*TaskController
+
+	// Statistics.
+	tasksStored   uint64
+	tasksChecked  uint64
+	tasksSent     uint64
+	tasksFinished uint64
+	readyAtCheck  uint64 // tasks ready immediately after dependency check
+
+	// expectTotal and finishedAt let the system read the exact completion
+	// time of the final task, independent of any later bookkeeping events
+	// (for example timeline samples).
+	expectTotal uint64
+	finishedAt  sim.Time
+}
+
+func newMaestro(eng *sim.Engine, cfg *Config) *Maestro {
+	m := &Maestro{
+		eng:    eng,
+		cfg:    cfg,
+		tp:     NewTaskPool(cfg.TaskPoolEntries, cfg.MaxParamsPerTD),
+		dt:     NewDepTable(cfg.DepTableEntries, cfg.KickOffSlots),
+		cdTask: -1,
+	}
+	m.dt.strictKO = cfg.HardKickOffLimit
+	if cfg.RenameFalseDeps {
+		m.dt.EnableRenaming()
+	}
+	if cfg.TablePorts > 0 {
+		m.tpPort = sim.NewResource("task-pool-ports", cfg.TablePorts)
+		m.dtPort = sim.NewResource("dep-table-ports", cfg.TablePorts)
+	}
+	// Invariant-safe capacities: every ID in New Tasks or Global Ready
+	// belongs to a live Task Pool entry, so sizing both lists at the pool
+	// capacity makes overflow impossible (Table IV sizes them identically
+	// for the default 1K pool).
+	m.tdsSizes = sim.NewFIFO[int]("tds-sizes", cfg.TDsListEntries)
+	m.tdsBuffer = sim.NewFIFO[trace.TaskSpec]("tds-buffer", cfg.TDsListEntries)
+	m.newTasks = sim.NewFIFO[int32]("new-tasks", cfg.TaskPoolEntries)
+	m.globalReady = sim.NewFIFO[int32]("global-ready", cfg.TaskPoolEntries)
+	tokens := cfg.Workers * cfg.BufferingDepth
+	m.workerIDs = sim.NewFIFO[int]("worker-ids", tokens)
+	m.finishNotif = sim.NewFIFO[int]("finish-notif", tokens)
+	m.rdyTasks = make([]*sim.FIFO[int32], cfg.Workers)
+	m.finTasks = make([]*sim.FIFO[int32], cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		m.rdyTasks[i] = sim.NewFIFO[int32]("rdy-tasks", cfg.BufferingDepth)
+		m.finTasks[i] = sim.NewFIFO[int32]("fin-tasks", cfg.BufferingDepth)
+		// The Worker Cores IDs list initially holds every core ID repeated
+		// "buffering depth" times (paper SSIII-A).
+		for b := 0; b < cfg.BufferingDepth; b++ {
+			m.workerIDs.MustPush(i)
+		}
+	}
+	m.writeTP = sim.NewServer(eng, "write-tp")
+	m.checkDeps = sim.NewServer(eng, "check-deps")
+	m.schedule = sim.NewServer(eng, "schedule")
+	m.sendTDs = sim.NewServer(eng, "send-tds")
+	m.handleFin = sim.NewServer(eng, "handle-finished")
+
+	// Event wiring: FIFO writes are the 1-bit triggers of Figure 2.
+	m.tdsSizes.OnData(m.kickWriteTP)
+	m.tp.OnFree(m.kickWriteTP)
+	m.newTasks.OnData(m.kickCheckDeps)
+	m.dt.OnFree(m.kickCheckDeps)
+	m.globalReady.OnData(m.kickSchedule)
+	m.workerIDs.OnData(m.kickSchedule)
+	m.finishNotif.OnData(m.kickHandleFinished)
+	return m
+}
+
+func (m *Maestro) attachControllers(tcs []*TaskController) {
+	m.tcs = tcs
+	for i := range m.rdyTasks {
+		m.rdyTasks[i].OnData(m.kickSendTDs)
+	}
+}
+
+// submitDelivered is called by the Get TDs block when the bus finishes
+// delivering a descriptor from the master core. The master guarantees space
+// before submitting (it stalls while the TDs Sizes list is full).
+func (m *Maestro) submitDelivered(spec trace.TaskSpec) {
+	m.tdsBuffer.MustPush(spec)
+	m.tdsSizes.MustPush(spec.NumParams())
+}
+
+// canAcceptSubmission reports whether the TDs Sizes list has room; when it
+// is full "the Master Core stalls and stops sending new Task Descriptors".
+func (m *Maestro) canAcceptSubmission() bool { return !m.tdsSizes.Full() }
+
+// acquirePorts obtains the requested table ports in a fixed order (Task
+// Pool before Dependence Table, which makes the two-port holders
+// deadlock-free) and invokes fn with the matching release function. With
+// unlimited ports (Config.TablePorts == 0) fn runs synchronously.
+func (m *Maestro) acquirePorts(needTP, needDT bool, fn func(release func())) {
+	var held []*sim.Resource
+	release := func() {
+		for i := len(held) - 1; i >= 0; i-- {
+			held[i].Release()
+		}
+	}
+	acquireDT := func() {
+		if needDT && m.dtPort != nil {
+			m.dtPort.Acquire(func() {
+				held = append(held, m.dtPort)
+				fn(release)
+			})
+			return
+		}
+		fn(release)
+	}
+	if needTP && m.tpPort != nil {
+		m.tpPort.Acquire(func() {
+			held = append(held, m.tpPort)
+			acquireDT()
+		})
+		return
+	}
+	acquireDT()
+}
+
+// --- Write TP block -------------------------------------------------------
+
+func (m *Maestro) kickWriteTP() {
+	if m.writeTP.Busy() || m.wtpPending {
+		return
+	}
+	size, ok := m.tdsSizes.Peek()
+	if !ok {
+		return
+	}
+	spec, _ := m.tdsBuffer.Peek()
+	if m.cfg.HardParamLimit && size > m.cfg.MaxParamsPerTD {
+		panic(FatalModelError{Reason: fmt.Sprintf(
+			"task %d has %d parameters, exceeding the fixed per-descriptor limit of %d with dummy tasks disabled (original-Nexus limit)",
+			spec.ID, size, m.cfg.MaxParamsPerTD)})
+	}
+	need := NumTDs(size, m.cfg.MaxParamsPerTD)
+	if m.tp.FreeCount() < need {
+		return // retried via tp.OnFree
+	}
+	m.tdsSizes.Pop()
+	m.tdsBuffer.Pop()
+	m.wtpPending = true
+	m.acquirePorts(true, false, func(release func()) {
+		m.wtpPending = false
+		id, ok := m.tp.Alloc(spec)
+		if !ok {
+			panic("core: Task Pool allocation failed after free-count check")
+		}
+		lat := m.cfg.cycles(m.cfg.Costs.WriteTPBase + m.cfg.Costs.WriteTPPerTD*need)
+		m.writeTP.Start(lat, func() {
+			release()
+			m.tasksStored++
+			m.newTasks.MustPush(id)
+			m.kickWriteTP()
+		})
+	})
+}
+
+// --- Check Deps block ------------------------------------------------------
+
+func (m *Maestro) kickCheckDeps() {
+	if m.checkDeps.Busy() || m.cdPending {
+		return
+	}
+	if m.cdTask < 0 {
+		if m.newTasks.Empty() {
+			return
+		}
+	} else if !m.cdWaiting {
+		return
+	}
+	m.cdPending = true
+	m.acquirePorts(true, true, func(release func()) {
+		m.cdPending = false
+		m.doCheckDeps(release)
+	})
+}
+
+func (m *Maestro) doCheckDeps(release func()) {
+	accesses := 0
+	if m.cdTask < 0 {
+		id, ok := m.newTasks.Pop()
+		if !ok {
+			release()
+			return
+		}
+		m.cdTask = id
+		m.cdParam = 0
+		m.cdWaiting = false
+		m.tp.Entry(id).checking = true
+	} else {
+		m.cdWaiting = false
+	}
+	e := m.tp.Entry(m.cdTask)
+	params := e.spec.Params
+	stalled := false
+	for m.cdParam < len(params) {
+		p := params[m.cdParam]
+		var granted, st bool
+		var acc int
+		if m.dt.Renaming() {
+			var version int32
+			version, granted, acc, st = m.dt.ProcessNewVersioned(m.cdTask, p.Addr, p.Size, toParamMode(p.Mode))
+			if !st {
+				e.versions = append(e.versions, version)
+			}
+		} else {
+			granted, acc, st = m.dt.ProcessNew(m.cdTask, p.Addr, p.Size, p.Mode.Writes())
+		}
+		accesses += acc
+		if st {
+			stalled = true
+			break
+		}
+		if !granted {
+			m.tp.AddDC(m.cdTask, 1)
+		}
+		m.cdParam++
+	}
+	lat := m.cfg.cycles(m.cfg.Costs.CheckDepsBase + m.cfg.Costs.CheckDepsPerAccess*accesses)
+	task := m.cdTask
+	done := !stalled
+	m.checkDeps.Start(lat, func() {
+		release()
+		if !done {
+			// Stalled on a full Dependence Table. Park until dt.OnFree
+			// re-kicks us — but a slot may already have been released
+			// during this service window (the wake-up fired while the
+			// block was busy), so check once before parking.
+			m.cdWaiting = true
+			if m.dt.HasFree() {
+				m.kickCheckDeps()
+			}
+			return
+		}
+		entry := m.tp.Entry(task)
+		entry.checking = false
+		m.tasksChecked++
+		if entry.dc == 0 {
+			m.readyAtCheck++
+			m.globalReady.MustPush(task)
+		}
+		m.cdTask = -1
+		m.kickCheckDeps()
+	})
+}
+
+// --- Schedule block --------------------------------------------------------
+
+func (m *Maestro) kickSchedule() {
+	if m.schedule.Busy() || m.globalReady.Empty() || m.workerIDs.Empty() {
+		return
+	}
+	task, _ := m.globalReady.Pop()
+	core, _ := m.workerIDs.Pop()
+	m.schedule.Start(m.cfg.cycles(m.cfg.Costs.ScheduleCycles), func() {
+		m.rdyTasks[core].MustPush(task)
+		m.kickSchedule()
+	})
+}
+
+// --- Send TDs block --------------------------------------------------------
+
+func (m *Maestro) kickSendTDs() {
+	if m.sendTDs.Busy() || m.stdPending {
+		return
+	}
+	n := len(m.rdyTasks)
+	core := -1
+	for i := 0; i < n; i++ {
+		c := (m.rrPtr + i) % n
+		if !m.rdyTasks[c].Empty() && m.tcs[c].canReceive() {
+			core = c
+			break
+		}
+	}
+	if core < 0 {
+		return
+	}
+	m.rrPtr = (core + 1) % n
+	task, _ := m.rdyTasks[core].Pop()
+	m.stdPending = true
+	m.acquirePorts(true, false, func(release func()) {
+		m.stdPending = false
+		spec := m.tp.Spec(task)
+		nTDs := NumTDs(len(spec.Params), m.cfg.MaxParamsPerTD)
+		c := m.cfg.Costs
+		lat := m.cfg.cycles(c.SendTDsBase + c.SendTDsPerTD*nTDs +
+			c.SendTDsLinkSetup + c.SendTDsPerParam*len(spec.Params))
+		m.sendTDs.Start(lat, func() {
+			release()
+			m.finTasks[core].MustPush(task)
+			m.tasksSent++
+			m.tcs[core].receive(task)
+			m.kickSendTDs()
+		})
+	})
+}
+
+// taskFinished is the Task Controller's 1-bit task-finished notification.
+func (m *Maestro) taskFinished(core int) {
+	m.finishNotif.MustPush(core)
+}
+
+// toParamMode converts a trace access mode to the renaming-path mode.
+func toParamMode(m trace.AccessMode) paramMode {
+	switch m {
+	case trace.In:
+		return paramIn
+	case trace.Out:
+		return paramOut
+	default:
+		return paramInOut
+	}
+}
+
+// --- Handle Finished block --------------------------------------------------
+
+func (m *Maestro) kickHandleFinished() {
+	if m.handleFin.Busy() || m.hfPending {
+		return
+	}
+	core, ok := m.finishNotif.Pop()
+	if !ok {
+		return
+	}
+	task, ok := m.finTasks[core].Pop()
+	if !ok {
+		panic("core: finished notification without a CiFinTasks entry")
+	}
+	m.hfPending = true
+	m.acquirePorts(true, true, func(release func()) {
+		m.hfPending = false
+		e := m.tp.Entry(task)
+		nTDs := 1 + len(e.extra)
+		accesses := 0
+		var ready []int32
+		for i, p := range e.spec.Params {
+			var grants []Grant
+			var acc int
+			if m.dt.Renaming() {
+				grants, acc = m.dt.ProcessFinishedVersioned(task, e.versions[i], p.Mode.Writes())
+			} else {
+				grants, acc = m.dt.ProcessFinished(task, p.Addr, p.Mode.Writes())
+			}
+			accesses += acc
+			for _, g := range grants {
+				waiter := m.tp.Entry(g.Task)
+				if m.tp.AddDC(g.Task, -1) == 0 && !waiter.checking {
+					ready = append(ready, g.Task)
+				}
+			}
+		}
+		c := m.cfg.Costs
+		lat := m.cfg.cycles(c.HandleFinBase + c.HandleFinPerTD*nTDs + c.HandleFinPerAccess*accesses)
+		m.handleFin.Start(lat, func() {
+			release()
+			for _, r := range ready {
+				m.globalReady.MustPush(r)
+			}
+			m.tp.Free(task)
+			m.workerIDs.MustPush(core)
+			m.tasksFinished++
+			if m.tasksFinished == m.expectTotal {
+				m.finishedAt = m.eng.Now()
+			}
+			m.kickHandleFinished()
+		})
+	})
+}

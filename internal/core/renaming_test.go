@@ -1,0 +1,216 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nexuspp/internal/depgraph"
+	"nexuspp/internal/sim"
+	"nexuspp/internal/trace"
+	"nexuspp/internal/workload"
+)
+
+func TestRenamingPureWriterNeverWaits(t *testing.T) {
+	dt := NewDepTable(16, 8)
+	dt.EnableRenaming()
+	v1, g, _, st := dt.ProcessNewVersioned(1, 0xA, 4, paramOut)
+	if !g || st {
+		t.Fatal("first writer not granted")
+	}
+	// A second pure writer forks a version instead of waiting (WAW gone).
+	v2, g, _, st := dt.ProcessNewVersioned(2, 0xA, 4, paramOut)
+	if !g || st {
+		t.Fatal("renamed writer had to wait")
+	}
+	if v1 == v2 {
+		t.Fatal("no fresh version created")
+	}
+	if dt.RenamedVersions() != 1 || dt.Used() != 2 {
+		t.Fatalf("versions=%d used=%d", dt.RenamedVersions(), dt.Used())
+	}
+	// Finishing in either order retires both versions.
+	dt.ProcessFinishedVersioned(2, v2, true)
+	dt.ProcessFinishedVersioned(1, v1, true)
+	if dt.Used() != 0 {
+		t.Fatalf("used = %d after drain", dt.Used())
+	}
+	if err := dt.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenamingWAREliminated(t *testing.T) {
+	dt := NewDepTable(16, 8)
+	dt.EnableRenaming()
+	vr, g, _, _ := dt.ProcessNewVersioned(1, 0xB, 4, paramIn)
+	if !g {
+		t.Fatal("reader not granted")
+	}
+	// A pure writer does not wait for the reader (WAR gone).
+	vw, g, _, _ := dt.ProcessNewVersioned(2, 0xB, 4, paramOut)
+	if !g {
+		t.Fatal("writer waited for a reader despite renaming")
+	}
+	// A reader submitted now binds to the new version and waits for the
+	// writer (RAW preserved).
+	_, g, _, _ = dt.ProcessNewVersioned(3, 0xB, 4, paramIn)
+	if g {
+		t.Fatal("RAW hazard lost under renaming")
+	}
+	// Old reader finishes -> old version retires.
+	dt.ProcessFinishedVersioned(1, vr, false)
+	// Writer finishes -> waiting reader granted on the new version.
+	grants, _ := dt.ProcessFinishedVersioned(2, vw, true)
+	if len(grants) != 1 || grants[0].Task != 3 {
+		t.Fatalf("grants = %v", grants)
+	}
+	dt.ProcessFinishedVersioned(3, vw, false)
+	if dt.Used() != 0 {
+		t.Fatalf("used = %d", dt.Used())
+	}
+	if err := dt.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenamingInOutKeepsTrueDependency(t *testing.T) {
+	dt := NewDepTable(16, 8)
+	dt.EnableRenaming()
+	v1, _, _, _ := dt.ProcessNewVersioned(1, 0xC, 4, paramOut)
+	// An inout must wait: it reads the current value.
+	_, g, _, _ := dt.ProcessNewVersioned(2, 0xC, 4, paramInOut)
+	if g {
+		t.Fatal("inout bypassed its RAW dependency")
+	}
+	grants, _ := dt.ProcessFinishedVersioned(1, v1, true)
+	if len(grants) != 1 || grants[0].Task != 2 {
+		t.Fatalf("grants = %v", grants)
+	}
+	dt.ProcessFinishedVersioned(2, v1, true)
+	if dt.Used() != 0 {
+		t.Fatal("leak")
+	}
+}
+
+func TestRenamingSystemEndToEnd(t *testing.T) {
+	// A WAW/WAR-heavy workload: every task rewrites one of 4 hot blocks.
+	rng := sim.NewRand(3)
+	var tasks []trace.TaskSpec
+	for i := 0; i < 60; i++ {
+		mode := trace.Out
+		if rng.Intn(4) == 0 {
+			mode = trace.In
+		}
+		tasks = append(tasks, trace.TaskSpec{
+			ID:     uint64(i),
+			Params: []trace.Param{{Addr: uint64(rng.Intn(4)+1) * 64, Size: 64, Mode: mode}},
+			Exec:   sim.Time(rng.Intn(4000)+500) * sim.Nanosecond,
+		})
+	}
+	mk := func() workload.Source {
+		return workload.FromTrace(&trace.Trace{Name: "hot-writes", Tasks: tasks})
+	}
+	cfg := testConfig(8)
+	cfg.RenameFalseDeps = true
+	res, err := Run(cfg, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := depgraph.BuildRenamed(mk())
+	if err := g.ValidateSchedule(res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	// Renaming must beat the safe-guard mode on this WAW-heavy workload.
+	safeCfg := testConfig(8)
+	safe, err := Run(safeCfg, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan >= safe.Makespan {
+		t.Fatalf("renaming (%v) should beat WAW enforcement (%v)", res.Makespan, safe.Makespan)
+	}
+}
+
+func TestRenamingStillSerialisesChains(t *testing.T) {
+	// Inout chains are true dependencies: renaming must not break them.
+	cfg := testConfig(4)
+	cfg.RenameFalseDeps = true
+	src := workload.Gaussian(workload.GaussianConfig{N: 12})
+	res, err := Run(cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := depgraph.BuildRenamed(workload.Gaussian(workload.GaussianConfig{N: 12}))
+	if err := g.ValidateSchedule(res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenamingOnWavefront(t *testing.T) {
+	cfg := testConfig(8)
+	cfg.RenameFalseDeps = true
+	src := smallGrid(workload.PatternWavefront, 10, 10, 5)
+	res, err := Run(cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := depgraph.BuildRenamed(smallGrid(workload.PatternWavefront, 10, 10, 5))
+	if err := g.ValidateSchedule(res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksExecuted != 100 {
+		t.Fatalf("executed %d", res.TasksExecuted)
+	}
+}
+
+func TestEnableRenamingOnDirtyTablePanics(t *testing.T) {
+	dt := NewDepTable(8, 8)
+	dt.ProcessNew(1, 0xA, 4, true)
+	defer func() {
+		if recover() == nil {
+			t.Error("EnableRenaming on a non-empty table did not panic")
+		}
+	}()
+	dt.EnableRenaming()
+}
+
+// Property: random workloads under renaming complete, validate against the
+// renamed oracle, and never leak table slots.
+func TestRenamingRandomProperty(t *testing.T) {
+	prop := func(seed uint64, wRaw, nRaw uint8) bool {
+		rng := sim.NewRand(seed)
+		n := int(nRaw%35) + 1
+		tasks := make([]trace.TaskSpec, n)
+		for i := range tasks {
+			tasks[i].ID = uint64(i)
+			tasks[i].Exec = sim.Time(rng.Intn(3000)+100) * sim.Nanosecond
+			used := map[uint64]bool{}
+			for k := 0; k <= rng.Intn(3); k++ {
+				a := uint64(rng.Intn(6)+1) * 64
+				if used[a] {
+					continue
+				}
+				used[a] = true
+				tasks[i].Params = append(tasks[i].Params, trace.Param{
+					Addr: a, Size: 64, Mode: trace.AccessMode(rng.Intn(3)),
+				})
+			}
+			if len(tasks[i].Params) == 0 {
+				tasks[i].Params = []trace.Param{{Addr: 8, Size: 8, Mode: trace.Out}}
+			}
+		}
+		mk := func() workload.Source {
+			return workload.FromTrace(&trace.Trace{Name: "prop", Tasks: tasks})
+		}
+		cfg := testConfig(int(wRaw%5) + 1)
+		cfg.RenameFalseDeps = true
+		res, err := Run(cfg, mk())
+		if err != nil {
+			return false
+		}
+		return depgraph.BuildRenamed(mk()).ValidateSchedule(res.Schedule) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Storage accounting for the Nexus++ structures, reproducing the paper's
+// Table IV sizing discussion and its closing comparison: "All tables and
+// FIFO lists in the Nexus++ task manager do not exceed 210KB of memory",
+// versus more than 6.5MB for the Task Superscalar.
+
+// Byte widths taken from the paper.
+const (
+	// TaskDescriptorBytes is the size of one Task Pool entry (78 bytes:
+	// metadata plus 8 parameter slots).
+	TaskDescriptorBytes = 78
+	// DepTableEntryBytes is the size of one Dependence Table entry
+	// (28 bytes: address, state and an 8-slot kick-off list of 2-byte IDs).
+	DepTableEntryBytes = 28
+	// TaskSuperscalarBytes is the storage the paper attributes to the Task
+	// Superscalar design it compares against.
+	TaskSuperscalarBytes = 6_500_000 // "more than 6.5MB"
+	// TaskSuperscalarParamLimit is its static parameter limit.
+	TaskSuperscalarParamLimit = 19
+)
+
+// StorageItem is one structure's memory budget.
+type StorageItem struct {
+	Name  string
+	Bytes int
+}
+
+// StorageBudget returns the on-chip memory each Nexus++ structure occupies
+// under cfg, following the paper's derivation: task IDs round up to whole
+// bytes (10 bits -> 2 bytes for a 1K pool), descriptor sizes occupy one
+// byte each, and each worker core needs BufferingDepth task-ID slots in its
+// CiRdyTasks and CiFinTasks lists.
+func StorageBudget(cfg Config) []StorageItem {
+	idBytes := bytesFor(bitsFor(cfg.TaskPoolEntries))
+	coreIDBytes := bytesFor(bitsFor(cfg.Workers))
+	items := []StorageItem{
+		{"Task Pool", cfg.TaskPoolEntries * TaskDescriptorBytes},
+		{"Dependence Table", cfg.DepTableEntries * DepTableEntryBytes},
+		{"TDs Sizes list", cfg.TDsListEntries * 1},
+		{"New Tasks list", cfg.TaskPoolEntries * idBytes},
+		{"TP Free Indices list", cfg.TaskPoolEntries * idBytes},
+		{"Global Ready Tasks list", cfg.TaskPoolEntries * idBytes},
+		{"Worker Cores IDs list", cfg.Workers * cfg.BufferingDepth * coreIDBytes},
+		{"CxRdyTasks lists", cfg.Workers * cfg.BufferingDepth * idBytes},
+		{"CxFinTasks lists", cfg.Workers * cfg.BufferingDepth * idBytes},
+	}
+	sort.SliceStable(items, func(i, j int) bool { return items[i].Bytes > items[j].Bytes })
+	return items
+}
+
+// TotalStorage sums the structure budget.
+func TotalStorage(cfg Config) int {
+	total := 0
+	for _, it := range StorageBudget(cfg) {
+		total += it.Bytes
+	}
+	return total
+}
+
+// FormatBytes renders a byte count the way the paper does (KB = 1024).
+func FormatBytes(b int) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/float64(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.0fKB", float64(b)/float64(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+func bitsFor(n int) int {
+	bits := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		bits++
+	}
+	if bits == 0 {
+		bits = 1
+	}
+	return bits
+}
+
+func bytesFor(bits int) int { return (bits + 7) / 8 }

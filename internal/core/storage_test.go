@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+)
+
+func findItem(t *testing.T, items []StorageItem, name string) int {
+	t.Helper()
+	for _, it := range items {
+		if it.Name == name {
+			return it.Bytes
+		}
+	}
+	t.Fatalf("missing storage item %q", name)
+	return 0
+}
+
+func TestStorageBudgetMatchesTableIV(t *testing.T) {
+	// The paper's Table IV for 512 worker cores.
+	cfg := DefaultConfig(512)
+	items := StorageBudget(cfg)
+	if got := findItem(t, items, "Task Pool"); got != 78*1024 {
+		t.Errorf("Task Pool = %d, want 78KB = %d", got, 78*1024)
+	}
+	if got := findItem(t, items, "Dependence Table"); got != 28*4096 {
+		t.Errorf("Dependence Table = %d, want 112KB = %d", got, 28*4096)
+	}
+	if got := findItem(t, items, "TDs Sizes list"); got != 1024 {
+		t.Errorf("TDs Sizes = %d, want 1KB", got)
+	}
+	// 1K task IDs at 2 bytes each = 2KB for the ID-carrying lists.
+	for _, name := range []string{"New Tasks list", "TP Free Indices list", "Global Ready Tasks list"} {
+		if got := findItem(t, items, name); got != 2048 {
+			t.Errorf("%s = %d, want 2KB", name, got)
+		}
+	}
+	// 512 cores x depth 2 x 2-byte core IDs = 2KB Worker Cores IDs.
+	if got := findItem(t, items, "Worker Cores IDs list"); got != 2048 {
+		t.Errorf("Worker Cores IDs = %d, want 2KB", got)
+	}
+	// Per-core rdy/fin lists: 2 IDs x 2 bytes = 4 bytes per core per list.
+	if got := findItem(t, items, "CxRdyTasks lists"); got != 512*4 {
+		t.Errorf("CxRdyTasks = %d, want 4B per core", got)
+	}
+}
+
+func TestTotalStorageUnderPaperBound(t *testing.T) {
+	// "All tables and FIFO lists in the Nexus++ task manager do not exceed
+	// 210KB of memory."
+	total := TotalStorage(DefaultConfig(512))
+	if total > 210*1024 {
+		t.Fatalf("total storage %d exceeds the paper's 210KB bound", total)
+	}
+	if total < 190*1024 {
+		t.Fatalf("total storage %d suspiciously below the paper's figure (~199KB expected)", total)
+	}
+	if TaskSuperscalarBytes/total < 30 {
+		t.Errorf("Task Superscalar comparison lost: ratio %d", TaskSuperscalarBytes/total)
+	}
+}
+
+func TestStorageSortedDescending(t *testing.T) {
+	items := StorageBudget(DefaultConfig(64))
+	for i := 1; i < len(items); i++ {
+		if items[i].Bytes > items[i-1].Bytes {
+			t.Fatalf("items not sorted: %v", items)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int]string{
+		100:       "100B",
+		2048:      "2KB",
+		78 * 1024: "78KB",
+		6_500_000: "6.2MB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 1024: 10, 1025: 11, 512: 9, 4096: 12}
+	for in, want := range cases {
+		if got := bitsFor(in); got != want {
+			t.Errorf("bitsFor(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

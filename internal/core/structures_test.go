@@ -1,0 +1,462 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nexuspp/internal/sim"
+	"nexuspp/internal/trace"
+)
+
+func TestNumTDs(t *testing.T) {
+	cases := []struct {
+		params, max, want int
+	}{
+		{1, 8, 1},
+		{8, 8, 1},
+		{9, 8, 2},  // parent 7 + dummy 2
+		{10, 8, 2}, // the paper's Table I example: 10 params in 2 TDs
+		{15, 8, 2}, // parent 7 + dummy 8
+		{16, 8, 3}, // parent 7 + dummy 7 + dummy 2
+		{22, 8, 3}, // 7 + 7 + 8
+		{23, 8, 4},
+		{3, 4, 1},
+		{5, 4, 2},
+		{11, 4, 4}, // 3 + 3 + 3 + 2
+	}
+	for _, c := range cases {
+		if got := NumTDs(c.params, c.max); got != c.want {
+			t.Errorf("NumTDs(%d, %d) = %d, want %d", c.params, c.max, got, c.want)
+		}
+	}
+}
+
+// Property: NumTDs is the minimal chain covering all params under the
+// layout "every non-final TD holds max-1 params + pointer; the final TD
+// holds up to max params".
+func TestNumTDsProperty(t *testing.T) {
+	prop := func(pRaw uint16, mRaw uint8) bool {
+		params := int(pRaw%500) + 1
+		max := int(mRaw%14) + 2
+		n := NumTDs(params, max)
+		capacity := func(k int) int {
+			if k <= 0 {
+				return 0
+			}
+			return (k-1)*(max-1) + max
+		}
+		return capacity(n) >= params && (n == 1 || capacity(n-1) < params)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func wideSpec(id uint64, n int) trace.TaskSpec {
+	s := trace.TaskSpec{ID: id, Exec: 1}
+	for i := 0; i < n; i++ {
+		s.Params = append(s.Params, trace.Param{Addr: 0x1000 + uint64(i)*64, Size: 64, Mode: trace.In})
+	}
+	return s
+}
+
+func TestTaskPoolAllocFree(t *testing.T) {
+	tp := NewTaskPool(8, 8)
+	if tp.Capacity() != 8 || tp.FreeCount() != 8 {
+		t.Fatalf("capacity/free = %d/%d", tp.Capacity(), tp.FreeCount())
+	}
+	id, ok := tp.Alloc(wideSpec(0, 3))
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	if tp.FreeCount() != 7 || tp.Occupancy() != 1 {
+		t.Fatalf("free/occ = %d/%d", tp.FreeCount(), tp.Occupancy())
+	}
+	if tp.Spec(id).ID != 0 || tp.DC(id) != 0 {
+		t.Fatal("stored spec wrong")
+	}
+	tp.Free(id)
+	if tp.FreeCount() != 8 || tp.Occupancy() != 0 {
+		t.Fatalf("after free: free/occ = %d/%d", tp.FreeCount(), tp.Occupancy())
+	}
+}
+
+func TestTaskPoolDummyChains(t *testing.T) {
+	tp := NewTaskPool(8, 8)
+	// 10 params -> 2 TDs (paper's Table I example).
+	id, ok := tp.Alloc(wideSpec(0, 10))
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	if tp.Occupancy() != 2 || tp.DummyTDs() != 1 {
+		t.Fatalf("occ=%d dummies=%d, want 2/1", tp.Occupancy(), tp.DummyTDs())
+	}
+	e := tp.Entry(id)
+	if len(e.extra) != 1 {
+		t.Fatalf("nD = %d, want 1", len(e.extra))
+	}
+	tp.Free(id)
+	if tp.FreeCount() != 8 {
+		t.Fatalf("dummy descriptors not returned: free = %d", tp.FreeCount())
+	}
+}
+
+func TestTaskPoolInsufficientSpace(t *testing.T) {
+	tp := NewTaskPool(3, 8)
+	if _, ok := tp.Alloc(wideSpec(0, 10)); !ok { // needs 2 TDs
+		t.Fatal("first alloc failed")
+	}
+	if _, ok := tp.Alloc(wideSpec(1, 10)); ok { // needs 2, only 1 free
+		t.Fatal("alloc succeeded without space")
+	}
+	if tp.FreeCount() != 1 {
+		t.Fatalf("failed alloc mutated the pool: free = %d", tp.FreeCount())
+	}
+}
+
+func TestTaskPoolImpossibleTaskPanics(t *testing.T) {
+	tp := NewTaskPool(2, 8)
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized task did not panic")
+		}
+	}()
+	tp.Alloc(wideSpec(0, 100)) // needs far more TDs than the pool holds
+}
+
+func TestTaskPoolDeadEntryPanics(t *testing.T) {
+	tp := NewTaskPool(4, 8)
+	id, _ := tp.Alloc(wideSpec(0, 1))
+	tp.Free(id)
+	defer func() {
+		if recover() == nil {
+			t.Error("access to dead entry did not panic")
+		}
+	}()
+	tp.Entry(id)
+}
+
+func TestTaskPoolDCUnderflowPanics(t *testing.T) {
+	tp := NewTaskPool(4, 8)
+	id, _ := tp.Alloc(wideSpec(0, 1))
+	defer func() {
+		if recover() == nil {
+			t.Error("DC underflow did not panic")
+		}
+	}()
+	tp.AddDC(id, -1)
+}
+
+func TestTaskPoolOnFree(t *testing.T) {
+	tp := NewTaskPool(4, 8)
+	fired := 0
+	tp.OnFree(func() { fired++ })
+	id, _ := tp.Alloc(wideSpec(0, 10))
+	tp.Free(id)
+	if fired != 2 { // two descriptors returned
+		t.Fatalf("OnFree fired %d times, want 2", fired)
+	}
+}
+
+// --- Dependence Table ------------------------------------------------------
+
+func TestDepTableReadersShare(t *testing.T) {
+	dt := NewDepTable(16, 8)
+	g, _, st := dt.ProcessNew(1, 0xA, 4, false)
+	if !g || st {
+		t.Fatal("first reader not granted")
+	}
+	g, _, st = dt.ProcessNew(2, 0xA, 4, false)
+	if !g || st {
+		t.Fatal("second reader not granted")
+	}
+	if dt.Live() != 1 || dt.Used() != 1 {
+		t.Fatalf("live/used = %d/%d", dt.Live(), dt.Used())
+	}
+	// First reader finishes: entry stays for the second.
+	grants, _ := dt.ProcessFinished(1, 0xA, false)
+	if len(grants) != 0 || dt.Live() != 1 {
+		t.Fatalf("grants=%v live=%d", grants, dt.Live())
+	}
+	// Last reader finishes: entry removed.
+	grants, _ = dt.ProcessFinished(2, 0xA, false)
+	if len(grants) != 0 || dt.Live() != 0 || dt.Used() != 0 {
+		t.Fatalf("after last reader: grants=%v live=%d used=%d", grants, dt.Live(), dt.Used())
+	}
+	if err := dt.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDepTableRAW(t *testing.T) {
+	dt := NewDepTable(16, 8)
+	dt.ProcessNew(1, 0xA, 4, true) // writer owns A
+	g, _, _ := dt.ProcessNew(2, 0xA, 4, false)
+	if g {
+		t.Fatal("reader granted while writer owns the segment (RAW hazard)")
+	}
+	grants, _ := dt.ProcessFinished(1, 0xA, true)
+	if len(grants) != 1 || grants[0].Task != 2 {
+		t.Fatalf("grants = %v, want task 2", grants)
+	}
+	// Task 2 now reads A; finishing it removes the entry.
+	dt.ProcessFinished(2, 0xA, false)
+	if dt.Live() != 0 {
+		t.Fatal("entry leaked")
+	}
+}
+
+func TestDepTableWARWriterWaits(t *testing.T) {
+	dt := NewDepTable(16, 8)
+	dt.ProcessNew(1, 0xB, 4, false) // reader active
+	g, _, _ := dt.ProcessNew(10, 0xB, 4, true)
+	if g {
+		t.Fatal("writer granted while reader active (WAR hazard)")
+	}
+	// Any later task must wait too, regardless of mode (paper SSIII-B).
+	g, _, _ = dt.ProcessNew(11, 0xB, 4, false)
+	if g {
+		t.Fatal("reader granted while a writer waits")
+	}
+	// Reader finishes: the writer takes over, the later reader still waits.
+	grants, _ := dt.ProcessFinished(1, 0xB, false)
+	if len(grants) != 1 || grants[0].Task != 10 {
+		t.Fatalf("grants = %v, want task 10", grants)
+	}
+	// Writer finishes: the queued reader is granted.
+	grants, _ = dt.ProcessFinished(10, 0xB, true)
+	if len(grants) != 1 || grants[0].Task != 11 {
+		t.Fatalf("grants = %v, want task 11", grants)
+	}
+	dt.ProcessFinished(11, 0xB, false)
+	if err := dt.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDepTableWAW(t *testing.T) {
+	dt := NewDepTable(16, 8)
+	dt.ProcessNew(1, 0xC, 4, true)
+	g, _, _ := dt.ProcessNew(2, 0xC, 4, true)
+	if g {
+		t.Fatal("second writer granted (WAW hazard)")
+	}
+	grants, _ := dt.ProcessFinished(1, 0xC, true)
+	if len(grants) != 1 || grants[0].Task != 2 {
+		t.Fatalf("grants = %v", grants)
+	}
+	dt.ProcessFinished(2, 0xC, true)
+	if dt.Live() != 0 {
+		t.Fatal("entry leaked")
+	}
+}
+
+func TestDepTableWriterReleasesReaderBatch(t *testing.T) {
+	dt := NewDepTable(16, 8)
+	dt.ProcessNew(1, 0xD, 4, true)
+	for id := int32(2); id <= 5; id++ {
+		dt.ProcessNew(id, 0xD, 4, false)
+	}
+	dt.ProcessNew(6, 0xD, 4, true) // writer behind the readers
+	grants, _ := dt.ProcessFinished(1, 0xD, true)
+	if len(grants) != 4 {
+		t.Fatalf("granted %d readers, want 4", len(grants))
+	}
+	for i, g := range grants {
+		if g.Task != int32(i+2) {
+			t.Fatalf("grant order %v", grants)
+		}
+	}
+	// Readers drain one by one; only after the last one does writer 6 run.
+	for id := int32(2); id <= 4; id++ {
+		if gs, _ := dt.ProcessFinished(id, 0xD, false); len(gs) != 0 {
+			t.Fatalf("premature writer grant after reader %d", id)
+		}
+	}
+	gs, _ := dt.ProcessFinished(5, 0xD, false)
+	if len(gs) != 1 || gs[0].Task != 6 {
+		t.Fatalf("final grants = %v, want task 6", gs)
+	}
+	dt.ProcessFinished(6, 0xD, true)
+	if err := dt.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDepTableDummySegments(t *testing.T) {
+	dt := NewDepTable(16, 2) // tiny kick-off lists force chaining
+	dt.ProcessNew(1, 0xE, 4, true)
+	for id := int32(2); id <= 8; id++ { // 7 waiters, 2 per segment
+		if _, _, st := dt.ProcessNew(id, 0xE, 4, false); st {
+			t.Fatalf("unexpected stall at waiter %d", id)
+		}
+	}
+	if dt.DummySegments() != 3 { // segments: 2+2+2+1 -> 3 dummies chained
+		t.Fatalf("dummy segments = %d, want 3", dt.DummySegments())
+	}
+	if dt.MaxKOSegments() != 4 {
+		t.Fatalf("max KO segments = %d, want 4", dt.MaxKOSegments())
+	}
+	if dt.Used() != 4 { // 1 parent + 3 dummies
+		t.Fatalf("used = %d, want 4", dt.Used())
+	}
+	// Draining promotes dummies to parent and releases slots.
+	grants, _ := dt.ProcessFinished(1, 0xE, true)
+	if len(grants) != 7 {
+		t.Fatalf("grants = %d, want 7", len(grants))
+	}
+	if dt.Used() != 1 {
+		t.Fatalf("used after drain = %d, want 1 (dummies released)", dt.Used())
+	}
+	for id := int32(2); id <= 8; id++ {
+		dt.ProcessFinished(id, 0xE, false)
+	}
+	if dt.Used() != 0 {
+		t.Fatal("slots leaked")
+	}
+	if err := dt.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDepTableStallsWhenFull(t *testing.T) {
+	dt := NewDepTable(2, 8)
+	dt.ProcessNew(1, 0xA, 4, true)
+	dt.ProcessNew(2, 0xB, 4, true)
+	g, _, st := dt.ProcessNew(3, 0xC, 4, false)
+	if !st || g {
+		t.Fatalf("expected full-table stall, got granted=%v stalled=%v", g, st)
+	}
+	if dt.FullStalls() != 1 {
+		t.Fatalf("fullStalls = %d", dt.FullStalls())
+	}
+	freed := false
+	dt.OnFree(func() { freed = true })
+	dt.ProcessFinished(1, 0xA, true)
+	if !freed {
+		t.Fatal("OnFree not invoked")
+	}
+	if g, _, st = dt.ProcessNew(3, 0xC, 4, false); !g || st {
+		t.Fatal("retry after free failed")
+	}
+}
+
+func TestDepTableKOStallWhenFull(t *testing.T) {
+	dt := NewDepTable(2, 1) // one KO slot per segment
+	dt.ProcessNew(1, 0xA, 4, true)
+	if _, _, st := dt.ProcessNew(2, 0xA, 4, false); st {
+		t.Fatal("first waiter should fit in the parent segment")
+	}
+	dt.ProcessNew(3, 0xB, 4, true) // fills the second slot
+	// Next waiter on A needs a dummy segment: table is full.
+	if _, _, st := dt.ProcessNew(4, 0xA, 4, false); !st {
+		t.Fatal("expected stall when a kick-off extension cannot allocate")
+	}
+	if err := dt.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDepTableChainStats(t *testing.T) {
+	dt := NewDepTable(64, 8)
+	for i := 0; i < 40; i++ {
+		dt.ProcessNew(int32(i), uint64(i+1)*977, 4, true)
+	}
+	if dt.MaxChain() < 1 {
+		t.Fatal("max chain not tracked")
+	}
+	if dt.MaxOccupancy() != 40 {
+		t.Fatalf("max occupancy = %d, want 40", dt.MaxOccupancy())
+	}
+}
+
+func TestDepTableUnknownFinishPanics(t *testing.T) {
+	dt := NewDepTable(8, 8)
+	defer func() {
+		if recover() == nil {
+			t.Error("finishing an unknown segment did not panic")
+		}
+	}()
+	dt.ProcessFinished(1, 0xDEAD, true)
+}
+
+// Property: random sequences of well-formed accesses keep the table's
+// invariants and never leak slots once all tasks finish. The reference
+// "well-formed" driver mirrors how the Maestro uses the table: a task is
+// granted or queued per address, finishes only after being granted, and
+// finishing releases its holds.
+func TestDepTableLifecycleProperty(t *testing.T) {
+	type hold struct {
+		addr  uint64
+		write bool
+	}
+	prop := func(seed uint64, opsRaw uint8) bool {
+		rng := sim.NewRand(seed)
+		dt := NewDepTable(64, 2)
+		active := map[int32]hold{}  // granted tasks
+		waiting := map[int32]hold{} // queued tasks
+		nextID := int32(1)
+		ops := int(opsRaw)%120 + 20
+		for i := 0; i < ops; i++ {
+			if rng.Intn(2) == 0 || len(active) == 0 {
+				// Submit a new single-param task.
+				addr := uint64(rng.Intn(6) + 1)
+				write := rng.Intn(2) == 0
+				id := nextID
+				nextID++
+				granted, _, stalled := dt.ProcessNew(id, addr, 4, write)
+				if stalled {
+					continue
+				}
+				if granted {
+					active[id] = hold{addr, write}
+				} else {
+					waiting[id] = hold{addr, write}
+				}
+			} else {
+				// Finish a random active task.
+				var id int32 = -1
+				for k := range active {
+					if id < 0 || k < id {
+						id = k
+					}
+				}
+				h := active[id]
+				delete(active, id)
+				grants, _ := dt.ProcessFinished(id, h.addr, h.write)
+				for _, g := range grants {
+					hw, ok := waiting[g.Task]
+					if !ok {
+						return false // granted a task that was not waiting
+					}
+					delete(waiting, g.Task)
+					active[g.Task] = hw
+				}
+			}
+			if dt.checkInvariants() != nil {
+				return false
+			}
+		}
+		// Drain everything.
+		for len(active) > 0 {
+			var id int32 = -1
+			for k := range active {
+				if id < 0 || k < id {
+					id = k
+				}
+			}
+			h := active[id]
+			delete(active, id)
+			grants, _ := dt.ProcessFinished(id, h.addr, h.write)
+			for _, g := range grants {
+				hw := waiting[g.Task]
+				delete(waiting, g.Task)
+				active[g.Task] = hw
+			}
+		}
+		return len(waiting) == 0 && dt.Used() == 0 && dt.checkInvariants() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

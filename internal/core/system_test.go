@@ -1,0 +1,367 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nexuspp/internal/depgraph"
+	"nexuspp/internal/sim"
+	"nexuspp/internal/trace"
+	"nexuspp/internal/workload"
+)
+
+func testConfig(workers int) Config {
+	cfg := DefaultConfig(workers)
+	cfg.RecordSchedule = true
+	return cfg
+}
+
+func smallGrid(p workload.Pattern, rows, cols int, seed uint64) workload.Source {
+	return workload.Grid(workload.GridConfig{Pattern: p, Rows: rows, Cols: cols, Seed: seed})
+}
+
+func mustRun(t *testing.T, cfg Config, src workload.Source) *Result {
+	t.Helper()
+	res, err := Run(cfg, src)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", src.Name(), err)
+	}
+	return res
+}
+
+// validate runs the workload and checks the recorded schedule against the
+// dependency-graph oracle.
+func validate(t *testing.T, cfg Config, src workload.Source) *Result {
+	t.Helper()
+	res := mustRun(t, cfg, src)
+	if res.TasksExecuted != uint64(src.Total()) {
+		t.Fatalf("%s: executed %d of %d", src.Name(), res.TasksExecuted, src.Total())
+	}
+	g := depgraph.Build(src)
+	if err := g.ValidateSchedule(res.Schedule); err != nil {
+		t.Fatalf("%s: %v", src.Name(), err)
+	}
+	return res
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig(4)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Workers = 0 },
+		func(c *Config) { c.BufferingDepth = 0 },
+		func(c *Config) { c.TaskPoolEntries = 1 },
+		func(c *Config) { c.MaxParamsPerTD = 1 },
+		func(c *Config) { c.DepTableEntries = 0 },
+		func(c *Config) { c.KickOffSlots = 0 },
+		func(c *Config) { c.NexusCycle = 0 },
+		func(c *Config) { c.TaskPrep = -1 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig(4)
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig(0)
+	if _, err := Run(cfg, workload.Independent(1)); err == nil {
+		t.Fatal("Run accepted invalid config")
+	}
+}
+
+func TestIndependentAllPatternsComplete(t *testing.T) {
+	for _, p := range []workload.Pattern{
+		workload.PatternIndependent, workload.PatternWavefront,
+		workload.PatternHorizontal, workload.PatternVertical,
+	} {
+		validate(t, testConfig(4), smallGrid(p, 10, 8, 7))
+	}
+}
+
+func TestGaussianCompletesAndValidates(t *testing.T) {
+	res := validate(t, testConfig(8), workload.Gaussian(workload.GaussianConfig{N: 24}))
+	if res.TasksExecuted != uint64(workload.GaussianTaskCount(24)) {
+		t.Fatalf("executed = %d", res.TasksExecuted)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() sim.Time {
+		res := mustRun(t, testConfig(6), smallGrid(workload.PatternWavefront, 12, 10, 3))
+		return res.Makespan
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic makespan: %v vs %v", a, b)
+	}
+}
+
+func TestSpeedupScalesForIndependentTasks(t *testing.T) {
+	src := func() workload.Source {
+		return workload.Grid(workload.GridConfig{
+			Pattern: workload.PatternIndependent, Rows: 20, Cols: 10, Seed: 5,
+		})
+	}
+	one := mustRun(t, testConfig(1), src())
+	four := mustRun(t, testConfig(4), src())
+	sp := float64(one.Makespan) / float64(four.Makespan)
+	if sp < 3.2 || sp > 4.2 {
+		t.Fatalf("speedup on 4 cores = %.2f, want ~4", sp)
+	}
+}
+
+func TestDoubleBufferingBeatsSingle(t *testing.T) {
+	src := func() workload.Source {
+		return workload.Grid(workload.GridConfig{
+			Pattern: workload.PatternIndependent, Rows: 10, Cols: 10, Seed: 5,
+		})
+	}
+	single := testConfig(4)
+	single.BufferingDepth = 1
+	double := testConfig(4)
+	s := mustRun(t, single, src())
+	d := mustRun(t, double, src())
+	if d.Makespan >= s.Makespan {
+		t.Fatalf("double buffering (%v) not faster than single (%v)", d.Makespan, s.Makespan)
+	}
+	// With double buffering the memory phases overlap execution, so the
+	// makespan should approach the pure-execution bound.
+	g := depgraph.Build(src())
+	var exec sim.Time
+	for _, e := range g.Exec {
+		exec += e
+	}
+	bound := exec / 4 // 4 workers
+	if float64(d.Makespan) > 1.35*float64(bound) {
+		t.Fatalf("double-buffered makespan %v too far above exec bound %v", d.Makespan, bound)
+	}
+}
+
+func TestHorizontalSlowerThanVertical(t *testing.T) {
+	// The paper's Figure 7: the horizontal pattern (dependencies along the
+	// generation order) scales far worse than the vertical one. The effect
+	// requires the workload to dwarf the Task Pool window, as the paper's
+	// 8160-task grid dwarfs its 1K-entry pool: with the whole grid resident
+	// every row chain is visible and the patterns converge.
+	cfg := testConfig(16)
+	cfg.TaskPoolEntries = 32
+	h := validate(t, cfg, smallGrid(workload.PatternHorizontal, 30, 20, 9))
+	v := validate(t, cfg, smallGrid(workload.PatternVertical, 30, 20, 9))
+	if float64(h.Makespan) < 1.5*float64(v.Makespan) {
+		t.Fatalf("horizontal (%v) should be much slower than vertical (%v)", h.Makespan, v.Makespan)
+	}
+}
+
+func TestWideTaskUsesDummyTDs(t *testing.T) {
+	// A task with 20 params needs 3 descriptors (7+7+6).
+	tasks := []trace.TaskSpec{wideSpec(0, 20)}
+	tasks[0].Exec = 1 * sim.Microsecond
+	src := workload.FromTrace(&trace.Trace{Name: "wide", Tasks: tasks})
+	res := validate(t, testConfig(2), src)
+	if res.DummyTDs != 2 {
+		t.Fatalf("dummy TDs = %d, want 2", res.DummyTDs)
+	}
+	if res.MaxTPOccupancy != 3 {
+		t.Fatalf("max TP occupancy = %d, want 3", res.MaxTPOccupancy)
+	}
+}
+
+func TestLongKickOffListUsesDummyEntries(t *testing.T) {
+	// One long-running writer followed by 30 readers: the readers pile up
+	// in the kick-off list (8 slots per segment) while the writer runs.
+	tasks := []trace.TaskSpec{{
+		ID:     0,
+		Params: []trace.Param{{Addr: 0xAAAA, Size: 4, Mode: trace.Out}},
+		Exec:   500 * sim.Microsecond,
+	}}
+	for i := 1; i <= 30; i++ {
+		tasks = append(tasks, trace.TaskSpec{
+			ID:     uint64(i),
+			Params: []trace.Param{{Addr: 0xAAAA, Size: 4, Mode: trace.In}},
+			Exec:   1 * sim.Microsecond,
+		})
+	}
+	src := workload.FromTrace(&trace.Trace{Name: "hot-read", Tasks: tasks})
+	res := validate(t, testConfig(4), src)
+	if res.DummyDTSegments == 0 {
+		t.Fatal("expected dummy Dependence Table segments to be chained")
+	}
+	if res.MaxKOSegments < 3 {
+		t.Fatalf("max KO segments = %d, want >= 3 (30 waiters / 8 slots)", res.MaxKOSegments)
+	}
+}
+
+func TestTinyTablesStillComplete(t *testing.T) {
+	// Aggressively small structures exercise every stall path; the run must
+	// still complete and validate.
+	cfg := testConfig(3)
+	cfg.TaskPoolEntries = 4
+	cfg.DepTableEntries = 6
+	cfg.KickOffSlots = 2
+	validate(t, cfg, smallGrid(workload.PatternWavefront, 8, 8, 11))
+	validate(t, cfg, workload.Gaussian(workload.GaussianConfig{N: 10}))
+}
+
+func TestContentionFreeFasterThanContended(t *testing.T) {
+	mk := func(free bool) Config {
+		cfg := testConfig(64)
+		cfg.Mem.ContentionFree = free
+		return cfg
+	}
+	src := func() workload.Source { return smallGrid(workload.PatternIndependent, 30, 20, 2) }
+	contended := mustRun(t, mk(false), src())
+	unbounded := mustRun(t, mk(true), src())
+	if unbounded.Makespan >= contended.Makespan {
+		t.Fatalf("contention-free (%v) not faster than contended (%v)",
+			unbounded.Makespan, contended.Makespan)
+	}
+	if contended.MemHighWater != 32 {
+		t.Fatalf("memory high water = %d, want 32 (all ports)", contended.MemHighWater)
+	}
+}
+
+func TestDisableTaskPrepSpeedsUpSubmission(t *testing.T) {
+	base := testConfig(32)
+	noprep := testConfig(32)
+	noprep.DisableTaskPrep = true
+	// Tiny tasks make the master the bottleneck, so removing the 30ns
+	// preparation must shorten the makespan.
+	mk := func() workload.Source {
+		return workload.Grid(workload.GridConfig{
+			Pattern: workload.PatternIndependent, Rows: 20, Cols: 20, Seed: 3,
+			Times: trace.FixedTimes{Exec: 100 * sim.Nanosecond, MemRead: 10 * sim.Nanosecond, MemWrite: 10 * sim.Nanosecond},
+		})
+	}
+	a := mustRun(t, base, mk())
+	b := mustRun(t, noprep, mk())
+	if b.Makespan >= a.Makespan {
+		t.Fatalf("disabling prep did not help: %v vs %v", b.Makespan, a.Makespan)
+	}
+}
+
+func TestMasterStallsOnTinySizesList(t *testing.T) {
+	cfg := testConfig(1)
+	// Slow worker + fast master: the TDs lists fill up and the master
+	// stalls; the Task Pool is small so Write TP also back-pressures.
+	cfg.TaskPoolEntries = 2
+	cfg.TDsListEntries = 4
+	src := workload.Grid(workload.GridConfig{
+		Pattern: workload.PatternIndependent, Rows: 5, Cols: 5, Seed: 1,
+		Times: trace.FixedTimes{Exec: 50 * sim.Microsecond, MemRead: 1 * sim.Microsecond, MemWrite: 1 * sim.Microsecond},
+	})
+	res := mustRun(t, cfg, src)
+	if res.MasterStall == 0 {
+		t.Fatal("expected master stall time with a 2-entry Task Pool")
+	}
+}
+
+func TestResultMetricsPopulated(t *testing.T) {
+	res := validate(t, testConfig(4), smallGrid(workload.PatternWavefront, 10, 10, 1))
+	if res.Workload == "" || res.Workers != 4 {
+		t.Errorf("workload/workers = %q/%d", res.Workload, res.Workers)
+	}
+	if res.Makespan <= 0 || res.Events == 0 {
+		t.Errorf("makespan/events = %v/%d", res.Makespan, res.Events)
+	}
+	if res.CoreUtilization <= 0 || res.CoreUtilization > 1 {
+		t.Errorf("core utilization = %v", res.CoreUtilization)
+	}
+	for _, blk := range []string{"write-tp", "check-deps", "schedule", "send-tds", "handle-finished"} {
+		if _, ok := res.BlockUtil[blk]; !ok {
+			t.Errorf("missing block utilization %q", blk)
+		}
+	}
+	if res.MaxTPOccupancy <= 0 || res.MaxDTOccupancy <= 0 {
+		t.Errorf("occupancy stats missing: %+v", res)
+	}
+}
+
+func TestSingleWorkerSerialBound(t *testing.T) {
+	// On one worker with depth 1, the makespan must be at least the sum of
+	// all execution and memory times (fully serialised TC pipeline).
+	cfg := testConfig(1)
+	cfg.BufferingDepth = 1
+	src := smallGrid(workload.PatternIndependent, 5, 5, 1)
+	res := mustRun(t, cfg, src)
+	g := depgraph.Build(src)
+	var total sim.Time
+	for _, d := range g.Duration {
+		total += d
+	}
+	if res.Makespan < total {
+		t.Fatalf("makespan %v below serial bound %v", res.Makespan, total)
+	}
+	if float64(res.Makespan) > 1.1*float64(total) {
+		t.Fatalf("makespan %v too far above serial bound %v (overhead > 10%%)", res.Makespan, total)
+	}
+}
+
+func TestDeadlockDiagnosticMentionsCounts(t *testing.T) {
+	// Build a system and source whose total claims more tasks than it
+	// yields: the run must fail with a diagnostic instead of hanging.
+	src := &lyingSource{inner: smallGrid(workload.PatternIndependent, 2, 2, 1)}
+	_, err := Run(testConfig(2), src)
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("err = %v, want deadlock diagnostic", err)
+	}
+}
+
+type lyingSource struct{ inner workload.Source }
+
+func (s *lyingSource) Name() string { return "lying" }
+func (s *lyingSource) Total() int   { return s.inner.Total() + 5 }
+func (s *lyingSource) Reset()       { s.inner.Reset() }
+func (s *lyingSource) Next() (trace.TaskSpec, bool) {
+	return s.inner.Next()
+}
+
+// Property: any small random workload on any small machine completes and
+// respects the dependency oracle. This is the central correctness property
+// of the whole model.
+func TestRandomWorkloadsValidateProperty(t *testing.T) {
+	prop := func(seed uint64, wRaw, nRaw, aRaw uint8) bool {
+		rng := sim.NewRand(seed)
+		workers := int(wRaw%6) + 1
+		n := int(nRaw%40) + 1
+		addrs := int(aRaw%10) + 1
+		tasks := make([]trace.TaskSpec, n)
+		for i := range tasks {
+			tasks[i].ID = uint64(i)
+			tasks[i].Exec = sim.Time(rng.Intn(5000)+100) * sim.Nanosecond
+			tasks[i].MemRead = sim.Time(rng.Intn(500)) * sim.Nanosecond
+			tasks[i].MemWrite = sim.Time(rng.Intn(500)) * sim.Nanosecond
+			used := map[uint64]bool{}
+			for k := 0; k <= rng.Intn(4); k++ {
+				a := uint64(rng.Intn(addrs)+1) * 64
+				if used[a] {
+					continue
+				}
+				used[a] = true
+				tasks[i].Params = append(tasks[i].Params, trace.Param{
+					Addr: a, Size: 64, Mode: trace.AccessMode(rng.Intn(3)),
+				})
+			}
+			if len(tasks[i].Params) == 0 {
+				tasks[i].Params = []trace.Param{{Addr: 8, Size: 8, Mode: trace.InOut}}
+			}
+		}
+		src := workload.FromTrace(&trace.Trace{Name: "prop", Tasks: tasks})
+		cfg := testConfig(workers)
+		cfg.BufferingDepth = int(seed%3) + 1
+		res, err := Run(cfg, src)
+		if err != nil {
+			return false
+		}
+		g := depgraph.Build(src)
+		return g.ValidateSchedule(res.Schedule) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

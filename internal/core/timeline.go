@@ -1,0 +1,46 @@
+package core
+
+import "nexuspp/internal/sim"
+
+// Timeline sampling: periodic snapshots of the structure occupancies that
+// drive the design-space exploration of Figure 6 — how full the Task Pool
+// and Dependence Table actually run, how deep the ready queue gets, and how
+// many memory ports are busy. Enabled with Config.SampleEvery.
+
+// TimelineSample is one snapshot of the system state.
+type TimelineSample struct {
+	At sim.Time
+	// TPOccupancy is the number of live Task Pool descriptors.
+	TPOccupancy int
+	// DTOccupancy is the number of occupied Dependence Table slots.
+	DTOccupancy int
+	// ReadyQueue is the Global Ready Tasks list depth.
+	ReadyQueue int
+	// MemInUse is the number of busy off-chip memory ports.
+	MemInUse int
+}
+
+// startSampler arms the periodic snapshot event. The sampler re-arms itself
+// only while tasks remain, so it never keeps the event queue alive after
+// the run completes; Result.Makespan is taken from the final task's
+// completion, so sampling cannot distort any reported time.
+func (s *System) startSampler(total uint64) {
+	period := s.cfg.SampleEvery
+	if period <= 0 {
+		return
+	}
+	var tick func()
+	tick = func() {
+		s.timeline = append(s.timeline, TimelineSample{
+			At:          s.eng.Now(),
+			TPOccupancy: s.maestro.tp.Occupancy(),
+			DTOccupancy: s.maestro.dt.Used(),
+			ReadyQueue:  s.maestro.globalReady.Len(),
+			MemInUse:    s.memory.InUse(),
+		})
+		if s.maestro.tasksFinished < total {
+			s.eng.After(period, tick)
+		}
+	}
+	s.eng.After(period, tick)
+}

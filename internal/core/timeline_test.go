@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"nexuspp/internal/sim"
+	"nexuspp/internal/workload"
+)
+
+func TestTimelineSampling(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.SampleEvery = 100 * sim.Microsecond
+	res := mustRun(t, cfg, smallGrid(workload.PatternIndependent, 10, 10, 1))
+	if len(res.Timeline) == 0 {
+		t.Fatal("no timeline samples")
+	}
+	var prev sim.Time = -1
+	for i, s := range res.Timeline {
+		if s.At <= prev {
+			t.Fatalf("sample %d not monotone: %v after %v", i, s.At, prev)
+		}
+		prev = s.At
+		if s.TPOccupancy < 0 || s.TPOccupancy > cfg.TaskPoolEntries {
+			t.Fatalf("TP occupancy %d out of range", s.TPOccupancy)
+		}
+		if s.DTOccupancy < 0 || s.DTOccupancy > cfg.DepTableEntries {
+			t.Fatalf("DT occupancy %d out of range", s.DTOccupancy)
+		}
+		if s.MemInUse < 0 || s.MemInUse > cfg.Mem.Ports {
+			t.Fatalf("mem in use %d out of range", s.MemInUse)
+		}
+	}
+	// Mid-run samples must observe live structures.
+	busy := false
+	for _, s := range res.Timeline {
+		if s.TPOccupancy > 0 {
+			busy = true
+		}
+	}
+	if !busy {
+		t.Fatal("no sample observed a non-empty Task Pool")
+	}
+}
+
+func TestTimelineDoesNotChangeMakespan(t *testing.T) {
+	mk := func() workload.Source { return smallGrid(workload.PatternWavefront, 10, 10, 2) }
+	plain := mustRun(t, testConfig(4), mk())
+	sampled := testConfig(4)
+	sampled.SampleEvery = 37 * sim.Microsecond
+	with := mustRun(t, sampled, mk())
+	if plain.Makespan != with.Makespan {
+		t.Fatalf("sampling changed the makespan: %v vs %v", plain.Makespan, with.Makespan)
+	}
+}
+
+func TestTimelineDisabledByDefault(t *testing.T) {
+	res := mustRun(t, testConfig(2), smallGrid(workload.PatternIndependent, 4, 4, 1))
+	if len(res.Timeline) != 0 {
+		t.Fatalf("timeline recorded without SampleEvery: %d samples", len(res.Timeline))
+	}
+}

@@ -1,0 +1,268 @@
+// Package depgraph builds the reference dependency graph of a workload by
+// sequential replay and provides the analyses the test-suite and the
+// experiment harness rely on: schedule validation (does a simulated
+// execution respect every RAW/WAR/WAW edge?), critical-path length, and the
+// parallelism profile that explains the "ramping effect" of the paper's
+// H.264 benchmark (Figure 4a).
+//
+// The replay follows the StarSs semantics the paper implements in hardware:
+// for every memory segment we track the last writer and the readers since
+// that writer; a reading task depends on the last writer (RAW), and a
+// writing task depends on the last writer (WAW) and on all readers since
+// (WAR). Nexus++ deliberately enforces the false WAR/WAW dependencies
+// instead of renaming, so the oracle encodes them as real edges too.
+package depgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"nexuspp/internal/sim"
+	"nexuspp/internal/workload"
+)
+
+// Graph is the dependency DAG of a workload in submission order. Edges
+// always point from a lower task ID to a higher one, so ID order is a
+// topological order.
+type Graph struct {
+	// Name is the originating workload's name.
+	Name string
+	// Duration holds each task's total busy time (exec + memory phases),
+	// used for critical-path analysis.
+	Duration []sim.Time
+	// Exec holds each task's pure execution time.
+	Exec  []sim.Time
+	preds [][]int32
+	succs [][]int32
+	edges int
+}
+
+// NumTasks returns the number of tasks.
+func (g *Graph) NumTasks() int { return len(g.preds) }
+
+// NumEdges returns the number of dependency edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Preds returns task t's predecessor IDs (do not modify).
+func (g *Graph) Preds(t int) []int32 { return g.preds[t] }
+
+// Succs returns task t's successor IDs (do not modify).
+func (g *Graph) Succs(t int) []int32 { return g.succs[t] }
+
+type addrState struct {
+	lastWriter   int32 // -1 when none
+	readersSince []int32
+}
+
+// Build replays src sequentially and returns its dependency graph.
+// The source is Reset first.
+func Build(src workload.Source) *Graph {
+	return build(src, false)
+}
+
+// BuildRenamed replays src under writer-renaming semantics (the
+// core.Config.RenameFalseDeps mode): pure writers never wait — they open a
+// fresh version of the segment — so only RAW edges and the WAR/WAW edges of
+// reading writers (inout) remain. Schedules of renamed runs validate
+// against this graph.
+func BuildRenamed(src workload.Source) *Graph {
+	return build(src, true)
+}
+
+func build(src workload.Source, renamed bool) *Graph {
+	src.Reset()
+	g := &Graph{Name: src.Name()}
+	if n := src.Total(); n > 0 {
+		g.preds = make([][]int32, 0, n)
+		g.succs = make([][]int32, 0, n)
+		g.Duration = make([]sim.Time, 0, n)
+		g.Exec = make([]sim.Time, 0, n)
+	}
+	state := make(map[uint64]*addrState)
+	var id int32
+	for {
+		task, ok := src.Next()
+		if !ok {
+			break
+		}
+		depSet := make(map[int32]struct{})
+		for _, p := range task.Params {
+			st := state[p.Addr]
+			if st == nil {
+				st = &addrState{lastWriter: -1}
+				state[p.Addr] = st
+			}
+			if p.Mode.Reads() && st.lastWriter >= 0 {
+				depSet[st.lastWriter] = struct{}{}
+			}
+			if p.Mode.Writes() {
+				// Under renaming, a pure writer forks a fresh version: no
+				// WAW edge to the previous writer and no WAR edges to its
+				// readers. A reading writer (inout) keeps them: its read
+				// side pins it to the current version.
+				if !renamed || p.Mode.Reads() {
+					if st.lastWriter >= 0 {
+						depSet[st.lastWriter] = struct{}{}
+					}
+					for _, r := range st.readersSince {
+						depSet[r] = struct{}{}
+					}
+				}
+				st.lastWriter = id
+				st.readersSince = st.readersSince[:0]
+			} else {
+				st.readersSince = append(st.readersSince, id)
+			}
+		}
+		delete(depSet, id) // a task never depends on itself
+		preds := make([]int32, 0, len(depSet))
+		for d := range depSet {
+			preds = append(preds, d)
+		}
+		sort.Slice(preds, func(a, b int) bool { return preds[a] < preds[b] })
+		g.preds = append(g.preds, preds)
+		g.succs = append(g.succs, nil)
+		for _, d := range preds {
+			g.succs[d] = append(g.succs[d], id)
+		}
+		g.edges += len(preds)
+		g.Duration = append(g.Duration, task.Exec+task.MemRead+task.MemWrite)
+		g.Exec = append(g.Exec, task.Exec)
+		id++
+	}
+	return g
+}
+
+// Analysis summarises the intrinsic parallelism of a graph, independent of
+// any machine: the makespan on infinitely many cores (critical path), the
+// total work, and the resulting average parallelism. These bound every
+// speedup the simulators can report.
+type Analysis struct {
+	TotalWork      sim.Time
+	CriticalPath   sim.Time
+	AvgParallelism float64
+	// MaxWidth is the maximum number of simultaneously running tasks under
+	// a greedy infinite-core schedule.
+	MaxWidth int
+}
+
+// Analyze computes the graph's intrinsic-parallelism summary.
+func (g *Graph) Analyze() Analysis {
+	n := g.NumTasks()
+	finish := make([]sim.Time, n)
+	type ev struct {
+		t     sim.Time
+		delta int
+	}
+	events := make([]ev, 0, 2*n)
+	var a Analysis
+	for i := 0; i < n; i++ {
+		var ready sim.Time
+		for _, p := range g.preds[i] {
+			if finish[p] > ready {
+				ready = finish[p]
+			}
+		}
+		finish[i] = ready + g.Duration[i]
+		if finish[i] > a.CriticalPath {
+			a.CriticalPath = finish[i]
+		}
+		a.TotalWork += g.Duration[i]
+		events = append(events, ev{ready, +1}, ev{finish[i], -1})
+	}
+	sort.Slice(events, func(x, y int) bool {
+		if events[x].t != events[y].t {
+			return events[x].t < events[y].t
+		}
+		return events[x].delta < events[y].delta // end before start at ties
+	})
+	cur := 0
+	for _, e := range events {
+		cur += e.delta
+		if cur > a.MaxWidth {
+			a.MaxWidth = cur
+		}
+	}
+	if a.CriticalPath > 0 {
+		a.AvgParallelism = float64(a.TotalWork) / float64(a.CriticalPath)
+	}
+	return a
+}
+
+// Interval records when a task executed in a simulated schedule.
+type Interval struct {
+	Start, End sim.Time
+}
+
+// ValidateSchedule checks that a simulated execution respects every
+// dependency edge: a task's execution may begin only after all of its
+// predecessors' executions have ended. It also checks that every task ran
+// exactly once (a zero-valued interval with End == 0 counts as "never ran").
+func (g *Graph) ValidateSchedule(ivs []Interval) error {
+	if len(ivs) != g.NumTasks() {
+		return fmt.Errorf("depgraph: schedule has %d intervals, graph has %d tasks", len(ivs), g.NumTasks())
+	}
+	for i, iv := range ivs {
+		if iv.End <= 0 && iv.Start <= 0 && g.Duration[i] > 0 {
+			return fmt.Errorf("depgraph: task %d never executed", i)
+		}
+		if iv.End < iv.Start {
+			return fmt.Errorf("depgraph: task %d has End %v before Start %v", i, iv.End, iv.Start)
+		}
+		for _, p := range g.preds[i] {
+			if ivs[p].End > iv.Start {
+				return fmt.Errorf("depgraph: task %d started at %v before predecessor %d finished at %v",
+					i, iv.Start, p, ivs[p].End)
+			}
+		}
+	}
+	return nil
+}
+
+// WidthProfile returns, for b equal time buckets across the infinite-core
+// schedule, the average number of running tasks per bucket. It visualises
+// the Figure 4(a) "ramping effect" versus the flat profiles of 4(b)/4(c).
+func (g *Graph) WidthProfile(b int) []float64 {
+	n := g.NumTasks()
+	if n == 0 || b <= 0 {
+		return nil
+	}
+	finish := make([]sim.Time, n)
+	var horizon sim.Time
+	starts := make([]sim.Time, n)
+	for i := 0; i < n; i++ {
+		var ready sim.Time
+		for _, p := range g.preds[i] {
+			if finish[p] > ready {
+				ready = finish[p]
+			}
+		}
+		starts[i] = ready
+		finish[i] = ready + g.Duration[i]
+		if finish[i] > horizon {
+			horizon = finish[i]
+		}
+	}
+	if horizon == 0 {
+		return make([]float64, b)
+	}
+	prof := make([]float64, b)
+	for i := 0; i < n; i++ {
+		s, e := starts[i], finish[i]
+		for bk := 0; bk < b; bk++ {
+			bs := sim.Time(int64(horizon) * int64(bk) / int64(b))
+			be := sim.Time(int64(horizon) * int64(bk+1) / int64(b))
+			lo, hi := s, e
+			if lo < bs {
+				lo = bs
+			}
+			if hi > be {
+				hi = be
+			}
+			if hi > lo {
+				prof[bk] += float64(hi-lo) / float64(be-bs)
+			}
+		}
+	}
+	return prof
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nexuspp/internal/core"
+	"nexuspp/internal/nexus1"
+	"nexuspp/internal/report"
+	"nexuspp/internal/softrts"
+	"nexuspp/internal/workload"
+)
+
+// RTSComparison contrasts the software StarSs runtime with Nexus++ on the
+// H.264 workload — the paper's motivation (SSI): the software RTS "cannot
+// compute task dependencies and attend to finished tasks fast enough to
+// keep all worker cores busy".
+func RTSComparison(opts Options) (*report.Table, error) {
+	r := newRunner(&opts)
+	t := report.NewTable(
+		"Motivation: software StarSs RTS vs Nexus++ (speedup vs 1 core of the same system)",
+		"workload", "cores", "software RTS", "Nexus++", "HW/SW makespan ratio")
+	for _, pat := range []workload.Pattern{workload.PatternIndependent, workload.PatternWavefront} {
+		pat := pat
+		mk := func() workload.Source {
+			return workload.Grid(workload.GridConfig{Pattern: pat, Seed: opts.seed()})
+		}
+		swBase, err := softrts.Run(softrts.DefaultConfig(1), mk())
+		if err != nil {
+			return nil, err
+		}
+		hwBase, err := r.baseline("rts-"+pat.String(), core.DefaultConfig(1), mk)
+		if err != nil {
+			return nil, err
+		}
+		for _, cores := range []int{4, 16, 64} {
+			opts.logf("run %-28s workers=%-3d software RTS", mk().Name(), cores)
+			sw, err := softrts.Run(softrts.DefaultConfig(cores), mk())
+			if err != nil {
+				return nil, err
+			}
+			hw, err := r.run(core.DefaultConfig(cores), mk(), "")
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(pat.String(), cores,
+				float64(swBase.Makespan)/float64(sw.Makespan),
+				float64(hwBase)/float64(hw.Makespan),
+				float64(sw.Makespan)/float64(hw.Makespan))
+		}
+	}
+	t.AddNote("the Nexus paper reported a 4.3x scalability improvement at 16 worker cores for an H.264-like workload")
+	return t, nil
+}
+
+// Cholesky is an extension experiment: the canonical StarSs tiled Cholesky
+// factorisation on Nexus++, the original Nexus and the software RTS, as a
+// dense-linear-algebra counterpart to the paper's Gaussian graph.
+func Cholesky(opts Options) (*report.Table, error) {
+	r := newRunner(&opts)
+	cores := opts.Cores
+	if cores == nil {
+		cores = []int{2, 4, 8, 16, 32, 64}
+	}
+	var series []*report.Series
+	// Two granularities: coarse 64x64 tiles (gemm ~262us) amortise any
+	// runtime; fine 16x16 tiles (gemm ~4us) expose the software RTS's
+	// per-task cost — the paper's fine-grained-task argument.
+	for _, b := range []int{64, 16} {
+		b := b
+		tiles := 24
+		if b == 16 {
+			tiles = 32
+		}
+		mk := func() workload.Source {
+			return workload.Cholesky(workload.CholeskyConfig{Tiles: tiles, TileSize: b})
+		}
+		t1, err := r.baseline(fmt.Sprintf("cholesky-%d", b), core.DefaultConfig(1), mk)
+		if err != nil {
+			return nil, err
+		}
+		swBase, err := softrts.Run(softrts.DefaultConfig(1), mk())
+		if err != nil {
+			return nil, err
+		}
+		plus := &report.Series{Name: fmt.Sprintf("Nexus++ b=%d", b)}
+		sw := &report.Series{Name: fmt.Sprintf("software b=%d", b)}
+		for _, c := range cores {
+			res, err := r.run(core.DefaultConfig(c), mk(), "")
+			if err != nil {
+				return nil, err
+			}
+			plus.Add(float64(c), float64(t1)/float64(res.Makespan))
+			opts.logf("run %-28s workers=%-3d software RTS", mk().Name(), c)
+			s, err := softrts.Run(softrts.DefaultConfig(c), mk())
+			if err != nil {
+				return nil, err
+			}
+			sw.Add(float64(c), float64(swBase.Makespan)/float64(s.Makespan))
+		}
+		series = append(series, plus, sw)
+	}
+	t := report.SeriesTable(
+		"Extension: tiled Cholesky speedup vs 1 core (coarse 64x64 and fine 16x16 tiles)",
+		"cores", series...)
+	t.AddNote("coarse tiles amortise the software runtime; fine tiles expose its per-task cost while Nexus++ keeps scaling — the paper's fine-grained-task argument on a new workload")
+	return t, nil
+}
+
+// NexusComparison contrasts the original Nexus (nexus1) with Nexus++ on
+// workloads both can execute, and reports which workloads Nexus rejects.
+func NexusComparison(opts Options) (*report.Table, error) {
+	r := newRunner(&opts)
+	t := report.NewTable(
+		"Nexus vs Nexus++ (16 cores)",
+		"workload", "Nexus", "Nexus++", "Nexus++ advantage")
+	for _, pat := range []workload.Pattern{workload.PatternIndependent, workload.PatternWavefront} {
+		pat := pat
+		mk := func() workload.Source {
+			return workload.Grid(workload.GridConfig{Pattern: pat, Seed: opts.seed()})
+		}
+		opts.logf("run %-28s workers=16  original Nexus", mk().Name())
+		old, err := nexus1.Run(16, mk())
+		if err != nil {
+			t.AddRow(pat.String(), "FAILS: "+trim(err.Error(), 40), "-", "-")
+			continue
+		}
+		plus, err := r.run(core.DefaultConfig(16), mk(), "")
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(pat.String(), old.Makespan.String(), plus.Makespan.String(),
+			float64(old.Makespan)/float64(plus.Makespan))
+	}
+	// Gaussian with the full partial-pivoting data flow: the pivot tasks'
+	// parameter lists exceed Nexus's fixed limit of 5, so Nexus statically
+	// cannot run it — the paper's example of an application "that could
+	// not be executed by Nexus".
+	fullPivot := func() workload.Source {
+		return workload.Gaussian(workload.GaussianConfig{N: 60, PivotObservesAll: true})
+	}
+	if ok, reason := nexus1.Supports(fullPivot()); ok {
+		t.AddNote("unexpected: Nexus claims to support the full-pivot Gaussian workload")
+	} else {
+		plus, perr := r.run(core.DefaultConfig(16), fullPivot(), "")
+		if perr != nil {
+			return nil, perr
+		}
+		t.AddRow("gaussian-60 full pivot", "FAILS: "+trim(reason, 40), plus.Makespan.String(), "runs at all")
+	}
+	// Chained Gaussian: within Nexus's parameter limit, but its kick-off
+	// lists may overflow dynamically depending on timing; report whatever
+	// happens.
+	gauss := func() workload.Source {
+		return workload.Gaussian(workload.GaussianConfig{N: 250})
+	}
+	opts.logf("run %-28s workers=16  original Nexus", gauss().Name())
+	plus, perr := r.run(core.DefaultConfig(16), gauss(), "")
+	if perr != nil {
+		return nil, perr
+	}
+	if old, err := nexus1.Run(16, gauss()); err != nil {
+		t.AddRow("gaussian-250", "FAILS: "+trim(err.Error(), 40), plus.Makespan.String(), "runs at all")
+	} else {
+		t.AddRow("gaussian-250", old.Makespan.String(), plus.Makespan.String(),
+			float64(old.Makespan)/float64(plus.Makespan))
+	}
+	t.AddNote("double buffering and cheaper table accesses give Nexus++ its advantage even on workloads Nexus supports")
+	return t, nil
+}

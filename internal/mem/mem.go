@@ -1,0 +1,182 @@
+// Package mem models the memory hierarchy of the paper's evaluation
+// platform: a 32-bank off-chip memory in which "no more than 32 tasks can
+// access the memory at a given time" (12 ns per 128-byte chunk, 10.67 GB/s
+// aggregate), and the 8-byte-wide on-chip bus over which the master core
+// submits Task Descriptors to the Task Maestro (5-cycle handshake plus the
+// descriptor words).
+package mem
+
+import "nexuspp/internal/sim"
+
+// MemConfig describes the off-chip memory.
+type MemConfig struct {
+	// Ports is the number of concurrent accessors (banks with one
+	// read/write port each). The paper uses 32.
+	Ports int
+	// ChunkBytes and ChunkTime give the transfer quantum: 12ns per
+	// 128-byte chunk in the paper's CACTI 5.3 model.
+	ChunkBytes int
+	ChunkTime  sim.Time
+	// ContentionFree disables the port limit, reproducing the paper's
+	// "assuming contention-free memory" experiments.
+	ContentionFree bool
+}
+
+// DefaultMemConfig returns the paper's Table IV memory parameters.
+func DefaultMemConfig() MemConfig {
+	return MemConfig{Ports: 32, ChunkBytes: 128, ChunkTime: 12 * sim.Nanosecond}
+}
+
+// Memory is the off-chip memory model.
+type Memory struct {
+	cfg   MemConfig
+	eng   *sim.Engine
+	ports *sim.Resource // nil when contention-free
+}
+
+// NewMemory builds a memory bound to eng. A zero Ports/ChunkBytes/ChunkTime
+// field selects the paper default.
+func NewMemory(eng *sim.Engine, cfg MemConfig) *Memory {
+	def := DefaultMemConfig()
+	if cfg.Ports == 0 {
+		cfg.Ports = def.Ports
+	}
+	if cfg.ChunkBytes == 0 {
+		cfg.ChunkBytes = def.ChunkBytes
+	}
+	if cfg.ChunkTime == 0 {
+		cfg.ChunkTime = def.ChunkTime
+	}
+	m := &Memory{cfg: cfg, eng: eng}
+	if !cfg.ContentionFree {
+		m.ports = sim.NewResource("memory-ports", cfg.Ports)
+	}
+	return m
+}
+
+// Config returns the effective configuration.
+func (m *Memory) Config() MemConfig { return m.cfg }
+
+// TransferTime returns the contention-free duration of moving n bytes
+// (whole chunks; zero bytes take zero time).
+func (m *Memory) TransferTime(bytes int) sim.Time {
+	if bytes <= 0 {
+		return 0
+	}
+	chunks := (bytes + m.cfg.ChunkBytes - 1) / m.cfg.ChunkBytes
+	return sim.Time(chunks) * m.cfg.ChunkTime
+}
+
+// Access models one task-side memory phase of the given contention-free
+// duration: it waits for a free port (FIFO order), holds it for duration,
+// then invokes done. A zero duration completes after the current event
+// (never synchronously) so callers can rely on consistent ordering.
+func (m *Memory) Access(duration sim.Time, done func()) {
+	if m.ports == nil {
+		m.eng.After(duration, done)
+		return
+	}
+	m.ports.Acquire(func() {
+		m.eng.After(duration, func() {
+			m.ports.Release()
+			done()
+		})
+	})
+}
+
+// InUse returns the number of busy ports (always 0 when contention-free).
+func (m *Memory) InUse() int {
+	if m.ports == nil {
+		return 0
+	}
+	return m.ports.InUse()
+}
+
+// HighWater returns the maximum number of concurrently busy ports.
+func (m *Memory) HighWater() int {
+	if m.ports == nil {
+		return 0
+	}
+	return m.ports.HighWater()
+}
+
+// Waits returns how many accesses had to queue for a port.
+func (m *Memory) Waits() uint64 {
+	if m.ports == nil {
+		return 0
+	}
+	return m.ports.Waits()
+}
+
+// BusConfig describes the on-chip master-to-maestro bus.
+type BusConfig struct {
+	// CycleTime is one Nexus++ clock cycle (2 ns at 500 MHz).
+	CycleTime sim.Time
+	// HandshakeCycles is the fixed per-submission setup cost (5 cycles).
+	HandshakeCycles int
+	// HeaderWords is the number of words before the parameters (1: the
+	// task ID + function pointer word).
+	HeaderWords int
+}
+
+// DefaultBusConfig returns the paper's bus parameters. Note: the paper's
+// text says each 8-byte word takes 2 cycles, but its worked examples (a
+// 4-parameter task takes 10 cycles, an 8-parameter one 14) fit
+// cycles = handshake(5) + header(1) + nParams; we follow the examples.
+func DefaultBusConfig() BusConfig {
+	return BusConfig{CycleTime: 2 * sim.Nanosecond, HandshakeCycles: 5, HeaderWords: 1}
+}
+
+// Bus is a single-master serial link: one submission occupies it at a time,
+// later submissions queue in FIFO order.
+type Bus struct {
+	cfg       BusConfig
+	eng       *sim.Engine
+	line      *sim.Resource
+	transfers uint64
+	busyTime  sim.Time
+}
+
+// NewBus builds a bus bound to eng; zero config fields select defaults.
+func NewBus(eng *sim.Engine, cfg BusConfig) *Bus {
+	def := DefaultBusConfig()
+	if cfg.CycleTime == 0 {
+		cfg.CycleTime = def.CycleTime
+	}
+	if cfg.HandshakeCycles == 0 {
+		cfg.HandshakeCycles = def.HandshakeCycles
+	}
+	if cfg.HeaderWords == 0 {
+		cfg.HeaderWords = def.HeaderWords
+	}
+	return &Bus{cfg: cfg, eng: eng, line: sim.NewResource("onchip-bus", 1)}
+}
+
+// Config returns the effective configuration.
+func (b *Bus) Config() BusConfig { return b.cfg }
+
+// SubmitTime returns the bus occupancy of submitting a descriptor with
+// nParams parameters: (handshake + header + nParams) cycles.
+func (b *Bus) SubmitTime(nParams int) sim.Time {
+	cycles := b.cfg.HandshakeCycles + b.cfg.HeaderWords + nParams
+	return sim.Time(cycles) * b.cfg.CycleTime
+}
+
+// Submit occupies the bus for SubmitTime(nParams) and then calls delivered.
+func (b *Bus) Submit(nParams int, delivered func()) {
+	d := b.SubmitTime(nParams)
+	b.line.Acquire(func() {
+		b.eng.After(d, func() {
+			b.transfers++
+			b.busyTime += d
+			b.line.Release()
+			delivered()
+		})
+	})
+}
+
+// Transfers returns the number of completed submissions.
+func (b *Bus) Transfers() uint64 { return b.transfers }
+
+// BusyTime returns cumulative bus occupancy.
+func (b *Bus) BusyTime() sim.Time { return b.busyTime }

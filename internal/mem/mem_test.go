@@ -1,0 +1,157 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nexuspp/internal/sim"
+)
+
+func TestTransferTime(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMemory(eng, MemConfig{})
+	cases := []struct {
+		bytes int
+		want  sim.Time
+	}{
+		{0, 0},
+		{-4, 0},
+		{1, 12 * sim.Nanosecond},
+		{128, 12 * sim.Nanosecond},
+		{129, 24 * sim.Nanosecond},
+		{1024, 96 * sim.Nanosecond},
+	}
+	for _, c := range cases {
+		if got := m.TransferTime(c.bytes); got != c.want {
+			t.Errorf("TransferTime(%d) = %v, want %v", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestMemoryDefaults(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMemory(eng, MemConfig{})
+	cfg := m.Config()
+	if cfg.Ports != 32 || cfg.ChunkBytes != 128 || cfg.ChunkTime != 12*sim.Nanosecond {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
+
+func TestMemoryPortLimit(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMemory(eng, MemConfig{Ports: 2})
+	var done []int
+	for i := 0; i < 4; i++ {
+		i := i
+		m.Access(10*sim.Nanosecond, func() { done = append(done, i) })
+	}
+	eng.Run()
+	if len(done) != 4 {
+		t.Fatalf("completions = %v", done)
+	}
+	// With 2 ports, 4 accesses of 10ns finish at 10,10,20,20.
+	if eng.Now() != 20*sim.Nanosecond {
+		t.Fatalf("end time = %v, want 20ns", eng.Now())
+	}
+	if m.HighWater() != 2 {
+		t.Fatalf("high water = %d, want 2", m.HighWater())
+	}
+	if m.Waits() != 2 {
+		t.Fatalf("waits = %d, want 2", m.Waits())
+	}
+	if m.InUse() != 0 {
+		t.Fatalf("in use at end = %d", m.InUse())
+	}
+}
+
+func TestMemoryContentionFree(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMemory(eng, MemConfig{Ports: 2, ContentionFree: true})
+	count := 0
+	for i := 0; i < 100; i++ {
+		m.Access(10*sim.Nanosecond, func() { count++ })
+	}
+	eng.Run()
+	if count != 100 {
+		t.Fatalf("count = %d", count)
+	}
+	if eng.Now() != 10*sim.Nanosecond {
+		t.Fatalf("contention-free end = %v, want 10ns", eng.Now())
+	}
+	if m.InUse() != 0 || m.HighWater() != 0 || m.Waits() != 0 {
+		t.Error("contention-free stats should be zero")
+	}
+}
+
+func TestMemoryZeroDurationNotSynchronous(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMemory(eng, MemConfig{})
+	fired := false
+	m.Access(0, func() { fired = true })
+	if fired {
+		t.Fatal("zero-duration access completed synchronously")
+	}
+	eng.Run()
+	if !fired {
+		t.Fatal("zero-duration access never completed")
+	}
+}
+
+// Property: with P ports and any batch of equal-duration accesses, the
+// makespan is ceil(n/P)*d — the canonical bank-limited schedule.
+func TestMemoryBatchScheduleProperty(t *testing.T) {
+	prop := func(nRaw, pRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		ports := int(pRaw%8) + 1
+		eng := sim.NewEngine()
+		m := NewMemory(eng, MemConfig{Ports: ports})
+		d := 10 * sim.Nanosecond
+		for i := 0; i < n; i++ {
+			m.Access(d, func() {})
+		}
+		eng.Run()
+		waves := (n + ports - 1) / ports
+		return eng.Now() == sim.Time(waves)*d
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBusSubmitTimeMatchesPaperExamples(t *testing.T) {
+	eng := sim.NewEngine()
+	b := NewBus(eng, BusConfig{})
+	// Paper SSIV-B: "a task with 4 parameters takes 10 cycles (20ns),
+	// whereas an 8-parameter task takes 14 cycles (28ns)".
+	if got := b.SubmitTime(4); got != 20*sim.Nanosecond {
+		t.Errorf("SubmitTime(4) = %v, want 20ns", got)
+	}
+	if got := b.SubmitTime(8); got != 28*sim.Nanosecond {
+		t.Errorf("SubmitTime(8) = %v, want 28ns", got)
+	}
+}
+
+func TestBusSerialises(t *testing.T) {
+	eng := sim.NewEngine()
+	b := NewBus(eng, BusConfig{})
+	var times []sim.Time
+	for i := 0; i < 3; i++ {
+		b.Submit(4, func() { times = append(times, eng.Now()) })
+	}
+	eng.Run()
+	want := []sim.Time{20 * sim.Nanosecond, 40 * sim.Nanosecond, 60 * sim.Nanosecond}
+	if len(times) != 3 {
+		t.Fatalf("times = %v", times)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+	if b.Transfers() != 3 {
+		t.Errorf("transfers = %d", b.Transfers())
+	}
+	if b.BusyTime() != 60*sim.Nanosecond {
+		t.Errorf("busy time = %v", b.BusyTime())
+	}
+}

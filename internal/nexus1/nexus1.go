@@ -1,0 +1,77 @@
+// Package nexus1 models the original Nexus hardware task manager
+// (Meenderinck & Juurlink, DSD 2010) that Nexus++ improves upon — the
+// comparison baseline of the paper's SSI and SSIII.
+//
+// The paper characterises Nexus by four limitations, all reproduced here as
+// a configuration of the shared hardware model:
+//
+//  1. A fixed, limited number of inputs/outputs per task (up to 5): tasks
+//     with more parameters cannot be executed at all (HardParamLimit).
+//  2. A fixed, limited number of tasks that may depend on one memory
+//     segment: kick-off lists cannot chain dummy entries, so dependency
+//     patterns with wide fan-out (Gaussian elimination) are rejected
+//     (HardKickOffLimit).
+//  3. No double buffering: Nexus proposed Task Controllers but did not
+//     implement them, so tasks are fetched, executed and written back
+//     serially (BufferingDepth = 1).
+//  4. Less efficient dependency resolution: Nexus keeps three tables
+//     (including two kick-off lists) "accessed always for all kinds of
+//     scenarios", and its master communicates off-chip, so per-access and
+//     submission costs are higher.
+package nexus1
+
+import (
+	"fmt"
+
+	"nexuspp/internal/core"
+	"nexuspp/internal/workload"
+)
+
+// MaxParams is Nexus's fixed input/output limit per task.
+const MaxParams = 5
+
+// Config returns the original-Nexus configuration for the given number of
+// worker cores, derived from the paper's description of Nexus's design.
+func Config(workers int) core.Config {
+	cfg := core.DefaultConfig(workers)
+	// Limitation 1+2: hard structure limits, no dummy mechanisms.
+	cfg.MaxParamsPerTD = MaxParams
+	cfg.HardParamLimit = true
+	cfg.HardKickOffLimit = true
+	// Limitation 3: no task controllers, hence no buffering overlap.
+	cfg.BufferingDepth = 1
+	// Limitation 4: three tables with two kick-off lists, always accessed:
+	// triple the table traffic per dependency operation.
+	cfg.Costs.CheckDepsPerAccess = 3 * core.DefaultCosts().CheckDepsPerAccess
+	cfg.Costs.HandleFinPerAccess = 3 * core.DefaultCosts().HandleFinPerAccess
+	// Nexus's master communicates with the task manager off-chip, "one of
+	// the scalability limiting factors of Nexus": add an off-chip hop
+	// (6 cycles = 12ns, the Table IV off-chip access time) to every
+	// submission handshake.
+	cfg.Bus.HandshakeCycles = 5 + 6
+	return cfg
+}
+
+// Run simulates the workload on an original-Nexus system. Workloads that
+// exceed Nexus's fixed limits fail with a core.FatalModelError.
+func Run(workers int, src workload.Source) (*core.Result, error) {
+	return core.Run(Config(workers), src)
+}
+
+// Supports reports whether Nexus can execute the workload at all, by
+// checking the static parameter-count limit (the dynamic kick-off limit
+// can only be discovered by running).
+func Supports(src workload.Source) (bool, string) {
+	src.Reset()
+	for {
+		t, ok := src.Next()
+		if !ok {
+			break
+		}
+		if len(t.Params) > MaxParams {
+			return false, fmt.Sprintf("task %d has %d parameters, above Nexus's fixed limit of %d",
+				t.ID, len(t.Params), MaxParams)
+		}
+	}
+	return true, ""
+}

@@ -1,0 +1,123 @@
+package nexus1
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"nexuspp/internal/core"
+	"nexuspp/internal/sim"
+	"nexuspp/internal/trace"
+	"nexuspp/internal/workload"
+)
+
+func TestConfigEncodesLimitations(t *testing.T) {
+	cfg := Config(8)
+	if cfg.MaxParamsPerTD != 5 || !cfg.HardParamLimit || !cfg.HardKickOffLimit {
+		t.Errorf("limits not configured: %+v", cfg)
+	}
+	if cfg.BufferingDepth != 1 {
+		t.Errorf("Nexus must not double-buffer, depth = %d", cfg.BufferingDepth)
+	}
+	if cfg.Costs.CheckDepsPerAccess <= core.DefaultCosts().CheckDepsPerAccess {
+		t.Error("three-table access cost not applied")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("invalid config: %v", err)
+	}
+}
+
+func TestNexusRunsSimpleWorkloads(t *testing.T) {
+	res, err := Run(4, workload.Grid(workload.GridConfig{
+		Pattern: workload.PatternWavefront, Rows: 10, Cols: 10, Seed: 1,
+	}))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.TasksExecuted != 100 {
+		t.Fatalf("executed %d", res.TasksExecuted)
+	}
+}
+
+func TestNexusRejectsWideTasks(t *testing.T) {
+	wide := trace.TaskSpec{ID: 0, Exec: sim.Microsecond}
+	for i := 0; i < 6; i++ { // 6 params > Nexus's 5
+		wide.Params = append(wide.Params, trace.Param{Addr: uint64(i+1) * 64, Size: 64, Mode: trace.In})
+	}
+	src := workload.FromTrace(&trace.Trace{Name: "wide", Tasks: []trace.TaskSpec{wide}})
+	if ok, reason := Supports(src); ok || !strings.Contains(reason, "fixed limit") {
+		t.Fatalf("Supports = %v %q, want rejection", ok, reason)
+	}
+	_, err := Run(2, src)
+	var fatal core.FatalModelError
+	if !errors.As(err, &fatal) {
+		t.Fatalf("err = %v, want FatalModelError", err)
+	}
+}
+
+func TestNexusFailsOnWideFanOut(t *testing.T) {
+	// One long-running writer and 30 dependent readers overflow the fixed
+	// kick-off list: this is the class of dependency pattern the paper says
+	// Nexus cannot handle (and Gaussian elimination exhibits).
+	tasks := []trace.TaskSpec{{
+		ID:     0,
+		Params: []trace.Param{{Addr: 0xAAAA, Size: 4, Mode: trace.Out}},
+		Exec:   500 * sim.Microsecond,
+	}}
+	for i := 1; i <= 30; i++ {
+		tasks = append(tasks, trace.TaskSpec{
+			ID:     uint64(i),
+			Params: []trace.Param{{Addr: 0xAAAA, Size: 4, Mode: trace.In}},
+			Exec:   sim.Microsecond,
+		})
+	}
+	src := workload.FromTrace(&trace.Trace{Name: "fanout", Tasks: tasks})
+	_, err := Run(4, src)
+	var fatal core.FatalModelError
+	if !errors.As(err, &fatal) {
+		t.Fatalf("err = %v, want kick-off overflow", err)
+	}
+	if !strings.Contains(err.Error(), "kick-off") {
+		t.Fatalf("err = %v, want kick-off overflow reason", err)
+	}
+	// Nexus++ executes the same workload (core default config).
+	if _, err := core.Run(core.DefaultConfig(4), workload.FromTrace(&trace.Trace{Name: "fanout", Tasks: tasks})); err != nil {
+		t.Fatalf("Nexus++ should handle the fan-out: %v", err)
+	}
+}
+
+func TestNexusSupportsChainedGaussianButSlower(t *testing.T) {
+	// The chained Gaussian stays within Nexus's parameter limit, but no
+	// double buffering plus costlier lookups make it slower than Nexus++.
+	mk := func() workload.Source { return workload.Gaussian(workload.GaussianConfig{N: 16}) }
+	if ok, reason := Supports(mk()); !ok {
+		t.Fatalf("chained Gaussian should fit Nexus's parameter limit: %s", reason)
+	}
+	nexus, err := Run(4, mk())
+	if err != nil {
+		// Acceptable: the kick-off fan-out may still overflow dynamically.
+		var fatal core.FatalModelError
+		if !errors.As(err, &fatal) {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return
+	}
+	plus, err := core.Run(core.DefaultConfig(4), mk())
+	if err != nil {
+		t.Fatalf("Nexus++: %v", err)
+	}
+	if plus.Makespan >= nexus.Makespan {
+		t.Fatalf("Nexus++ (%v) should beat Nexus (%v)", plus.Makespan, nexus.Makespan)
+	}
+}
+
+func TestNexusRejectsFullPivotGaussian(t *testing.T) {
+	src := workload.Gaussian(workload.GaussianConfig{N: 32, PivotObservesAll: true})
+	ok, reason := Supports(src)
+	if ok {
+		t.Fatal("full-pivot Gaussian should exceed Nexus's parameter limit")
+	}
+	if !strings.Contains(reason, "parameters") {
+		t.Fatalf("reason = %q", reason)
+	}
+}

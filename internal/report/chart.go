@@ -1,0 +1,97 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders series as a plain-text scatter chart, the closest an
+// offline terminal gets to the paper's figures. X values are plotted on a
+// log2 axis when they span more than one order of magnitude (core counts
+// and table sizes are powers of two), linearly otherwise. Each series gets
+// a distinct marker; colliding points show the later series' marker.
+func Chart(title string, width, height int, series ...*Series) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	markers := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+	// Collect ranges.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	maxY := 0.0
+	points := 0
+	for _, s := range series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			maxY = math.Max(maxY, s.Y[i])
+			points++
+		}
+	}
+	if points == 0 {
+		return title + "\n(no data)\n"
+	}
+	logX := minX > 0 && maxX/minX >= 8
+	xPos := func(x float64) int {
+		if maxX == minX {
+			return 0
+		}
+		f := 0.0
+		if logX {
+			f = (math.Log2(x) - math.Log2(minX)) / (math.Log2(maxX) - math.Log2(minX))
+		} else {
+			f = (x - minX) / (maxX - minX)
+		}
+		return int(math.Round(f * float64(width-1)))
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	yPos := func(y float64) int {
+		f := y / maxY
+		row := int(math.Round(f * float64(height-1)))
+		return height - 1 - row // row 0 at the top
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			grid[yPos(s.Y[i])][xPos(s.X[i])] = m
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r, row := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.5g ", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%7.5g ", 0.0)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "        +%s\n", strings.Repeat("-", width))
+	axis := "lin"
+	if logX {
+		axis = "log2"
+	}
+	fmt.Fprintf(&b, "         x: %.5g .. %.5g (%s)   ", minX, maxX, axis)
+	for si, s := range series {
+		if si > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%c=%s", markers[si%len(markers)], s.Name)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartBasic(t *testing.T) {
+	a := &Series{Name: "ideal"}
+	b := &Series{Name: "measured"}
+	for _, c := range []float64{1, 2, 4, 8, 16, 32, 64} {
+		a.Add(c, c)
+		b.Add(c, c*0.8)
+	}
+	out := Chart("speedup", 40, 10, a, b)
+	if !strings.Contains(out, "speedup") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "*=ideal") || !strings.Contains(out, "o=measured") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "log2") {
+		t.Errorf("x range 1..64 should use log2 axis:\n%s", out)
+	}
+	// Max y label appears.
+	if !strings.Contains(out, "64") {
+		t.Errorf("missing y max label:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 13 { // title + 10 rows + axis + legend
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestChartLinearAxis(t *testing.T) {
+	s := &Series{Name: "s"}
+	s.Add(1, 5)
+	s.Add(2, 7)
+	out := Chart("t", 20, 5, s)
+	if !strings.Contains(out, "lin") {
+		t.Errorf("narrow x range should use linear axis:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart("empty", 20, 5, &Series{Name: "none"})
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty chart output: %q", out)
+	}
+}
+
+func TestChartTinyDimensionsClamped(t *testing.T) {
+	s := &Series{Name: "s"}
+	s.Add(1, 1)
+	out := Chart("t", 1, 1, s)
+	if len(out) == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestChartMonotoneMapping(t *testing.T) {
+	// Higher y must never render on a lower row than smaller y.
+	s := &Series{Name: "s"}
+	s.Add(1, 1)
+	s.Add(2, 100)
+	out := Chart("t", 10, 8, s)
+	lines := strings.Split(out, "\n")
+	// Both points share the marker; the top-most occurrence is y=100 and
+	// must be above the bottom-most (y=1).
+	first, last := -1, -1
+	for i, l := range lines {
+		if strings.Contains(l, "|") && strings.Contains(l, "*") {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first < 0 || first == last {
+		t.Fatalf("expected two distinct rows:\n%s", out)
+	}
+}

@@ -1,0 +1,209 @@
+// Package report renders experiment results as aligned text tables and CSV,
+// the output format of cmd/nexusbench and the benchmark harness.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table with an optional title.
+// Tables built from parameter sweeps (SeriesTable) also carry their series
+// so callers can render charts.
+type Table struct {
+	Title   string
+	Columns []string
+	Series  []*Series
+	rows    [][]string
+	notes   []string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		case float32:
+			row[i] = FormatFloat(float64(v))
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddNote appends a footnote printed under the table.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// FormatFloat renders a float compactly: integers without decimals, small
+// values with enough precision to be useful.
+func FormatFloat(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e15 && v > -1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 100 || v <= -100:
+		return fmt.Sprintf("%.1f", v)
+	case v >= 1 || v <= -1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	for _, n := range t.notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV (title and notes as comments).
+func (t *Table) RenderCSV(w io.Writer) error {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "# %s\n", t.Title)
+	}
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	for _, n := range t.notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Series is a named sequence of (x, y) points, one per measurement in a
+// parameter sweep — the unit a paper figure's curve corresponds to.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// YAt returns the y value for the given x, or ok=false.
+func (s *Series) YAt(x float64) (float64, bool) {
+	for i, v := range s.X {
+		if v == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// Max returns the largest y value (0 for an empty series).
+func (s *Series) Max() float64 {
+	m := 0.0
+	for _, v := range s.Y {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// SeriesTable renders several series sharing an x axis as one table.
+func SeriesTable(title, xLabel string, series ...*Series) *Table {
+	cols := []string{xLabel}
+	for _, s := range series {
+		cols = append(cols, s.Name)
+	}
+	t := NewTable(title, cols...)
+	t.Series = series
+	// Collect the union of x values in first-seen order.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	for _, x := range xs {
+		row := make([]interface{}, 0, len(cols))
+		row = append(row, x)
+		for _, s := range series {
+			if y, ok := s.YAt(x); ok {
+				row = append(row, y)
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,119 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("My Title", "name", "value")
+	tbl.AddRow("short", 1)
+	tbl.AddRow("a-much-longer-name", 123.456)
+	tbl.AddNote("a note with %d args", 2)
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "My Title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "a-much-longer-name") {
+		t.Error("missing row")
+	}
+	if !strings.Contains(out, "123.5") {
+		t.Errorf("float formatting wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "note: a note with 2 args") {
+		t.Error("missing note")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title, header, separator, 2 rows, note.
+	if len(lines) != 6 {
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+	// Columns align: header and rows share the first column width.
+	if !strings.Contains(lines[1], "name") || !strings.HasPrefix(lines[2], "----") {
+		t.Errorf("header/separator wrong:\n%s", out)
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tbl := NewTable("T", "a", "b")
+	tbl.AddRow("x,y", `quote"d`)
+	tbl.AddNote("n")
+	var buf bytes.Buffer
+	if err := tbl.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"x,y"`) {
+		t.Errorf("comma not escaped: %s", out)
+	}
+	if !strings.Contains(out, `"quote""d"`) {
+		t.Errorf("quote not escaped: %s", out)
+	}
+	if !strings.HasPrefix(out, "# T\n") {
+		t.Errorf("title comment missing: %s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		143:     "143",
+		54.3219: "54.32",
+		123.456: "123.5",
+		0.12345: "0.1235",
+		-7:      "-7",
+		1024:    "1024",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := &Series{Name: "s"}
+	s.Add(1, 10)
+	s.Add(2, 20)
+	if y, ok := s.YAt(2); !ok || y != 20 {
+		t.Errorf("YAt(2) = %v %v", y, ok)
+	}
+	if _, ok := s.YAt(3); ok {
+		t.Error("YAt(3) should miss")
+	}
+	if s.Max() != 20 {
+		t.Errorf("Max = %v", s.Max())
+	}
+	if (&Series{}).Max() != 0 {
+		t.Error("empty Max should be 0")
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	a := &Series{Name: "A"}
+	a.Add(1, 1.5)
+	a.Add(2, 3)
+	b := &Series{Name: "B"}
+	b.Add(2, 4)
+	tbl := SeriesTable("title", "x", a, b)
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Error("missing series columns")
+	}
+	// B has no point at x=1: rendered as "-".
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing placeholder:\n%s", out)
+	}
+	if tbl.NumRows() != 2 {
+		t.Errorf("rows = %d", tbl.NumRows())
+	}
+}

@@ -1,0 +1,152 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// It plays the role of the SystemC "Task Machine" used by the Nexus++ paper:
+// hardware blocks are modeled as callbacks scheduled on a global event queue,
+// bounded FIFOs provide the paper's FIFO lists with full/empty back-pressure,
+// and Resource models finite hardware ports (for example the 32-bank
+// off-chip memory). All ordering is deterministic: events fire in
+// (time, insertion-sequence) order, so repeated runs of the same
+// configuration produce bit-identical results.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulated instant or duration in picoseconds. Picoseconds keep
+// every latency in the paper (2 ns cycles, 4 ns bus words, 12 ns memory
+// chunks, 30 ns preparation, microsecond tasks) an exact integer while
+// leaving headroom for multi-second simulations (int64 picoseconds cover
+// about 106 days).
+type Time int64
+
+// Convenient duration units.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Nanoseconds reports t as a floating-point number of nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Microseconds reports t as a floating-point number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t < Nanosecond:
+		return fmt.Sprintf("%dps", int64(t))
+	case t < Microsecond:
+		return fmt.Sprintf("%.4gns", t.Nanoseconds())
+	case t < Millisecond:
+		return fmt.Sprintf("%.4gus", t.Microseconds())
+	case t < Second:
+		return fmt.Sprintf("%.4gms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.4gs", t.Seconds())
+	}
+}
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event simulation core. The zero value is not
+// usable; create engines with NewEngine.
+type Engine struct {
+	now       Time
+	seq       uint64
+	pq        eventHeap
+	processed uint64
+	running   bool
+}
+
+// NewEngine returns an empty engine positioned at time zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.pq)
+	return e
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of scheduled-but-unexecuted events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it would silently corrupt causality in a hardware model.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before current time %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time. Negative delays panic.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Run executes events until the queue is empty and returns the final time.
+func (e *Engine) Run() Time {
+	return e.RunUntil(Time(1<<62 - 1))
+}
+
+// RunUntil executes events with timestamps <= limit, leaves later events
+// queued, and returns the time of the last executed event (or the current
+// time if nothing ran). It panics when called reentrantly from an event.
+func (e *Engine) RunUntil(limit Time) Time {
+	if e.running {
+		panic("sim: RunUntil called from inside an event callback")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.pq) > 0 {
+		if e.pq[0].at > limit {
+			break
+		}
+		ev := heap.Pop(&e.pq).(event)
+		e.now = ev.at
+		e.processed++
+		ev.fn()
+	}
+	return e.now
+}

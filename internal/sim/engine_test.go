@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Nanosecond != 1000*Picosecond {
+		t.Fatalf("Nanosecond = %d ps", Nanosecond)
+	}
+	if Second != 1_000_000_000_000*Picosecond {
+		t.Fatalf("Second = %d ps", Second)
+	}
+	if got := (2500 * Picosecond).Nanoseconds(); got != 2.5 {
+		t.Errorf("Nanoseconds() = %v, want 2.5", got)
+	}
+	if got := (3 * Microsecond).Microseconds(); got != 3 {
+		t.Errorf("Microseconds() = %v, want 3", got)
+	}
+	if got := (2 * Second).Seconds(); got != 2 {
+		t.Errorf("Seconds() = %v, want 2", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{2 * Nanosecond, "2ns"},
+		{12 * Nanosecond, "12ns"},
+		{3 * Microsecond, "3us"},
+		{15 * Millisecond, "15ms"},
+		{20 * Second, "20s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	eng := NewEngine()
+	var order []int
+	eng.After(10*Nanosecond, func() { order = append(order, 2) })
+	eng.After(5*Nanosecond, func() { order = append(order, 1) })
+	eng.After(10*Nanosecond, func() { order = append(order, 3) })
+	eng.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+	if eng.Now() != 10*Nanosecond {
+		t.Errorf("Now() = %v, want 10ns", eng.Now())
+	}
+	if eng.Processed() != 3 {
+		t.Errorf("Processed() = %d, want 3", eng.Processed())
+	}
+}
+
+func TestEngineSameTimeFIFO(t *testing.T) {
+	// Events at the same timestamp must run in insertion order.
+	eng := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		eng.At(7*Nanosecond, func() { order = append(order, i) })
+	}
+	eng.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	eng := NewEngine()
+	var hits []Time
+	eng.After(1*Nanosecond, func() {
+		hits = append(hits, eng.Now())
+		eng.After(2*Nanosecond, func() {
+			hits = append(hits, eng.Now())
+		})
+	})
+	end := eng.Run()
+	if end != 3*Nanosecond {
+		t.Fatalf("end = %v, want 3ns", end)
+	}
+	if len(hits) != 2 || hits[0] != 1*Nanosecond || hits[1] != 3*Nanosecond {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	eng := NewEngine()
+	var count int
+	for i := 1; i <= 10; i++ {
+		eng.At(Time(i)*Nanosecond, func() { count++ })
+	}
+	eng.RunUntil(5 * Nanosecond)
+	if count != 5 {
+		t.Fatalf("count after RunUntil(5ns) = %d, want 5", count)
+	}
+	if eng.Pending() != 5 {
+		t.Fatalf("Pending() = %d, want 5", eng.Pending())
+	}
+	eng.Run()
+	if count != 10 {
+		t.Fatalf("count after Run() = %d, want 10", count)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	eng := NewEngine()
+	eng.After(10*Nanosecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		eng.At(5*Nanosecond, func() {})
+	})
+	eng.Run()
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	eng := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	eng.After(-1, func() {})
+}
+
+func TestEngineReentrantRunPanics(t *testing.T) {
+	eng := NewEngine()
+	eng.After(1, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("reentrant Run did not panic")
+			}
+		}()
+		eng.Run()
+	})
+	eng.Run()
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() []int {
+		eng := NewEngine()
+		rng := NewRand(42)
+		var order []int
+		for i := 0; i < 500; i++ {
+			i := i
+			eng.At(Time(rng.Intn(50))*Nanosecond, func() { order = append(order, i) })
+		}
+		eng.Run()
+		return order
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any set of non-negative delays, the engine fires events in
+// non-decreasing time order and processes all of them.
+func TestEngineMonotonicProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		eng := NewEngine()
+		var last Time = -1
+		ok := true
+		for _, d := range delays {
+			eng.After(Time(d), func() {
+				if eng.Now() < last {
+					ok = false
+				}
+				last = eng.Now()
+			})
+		}
+		eng.Run()
+		return ok && eng.Processed() == uint64(len(delays))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,71 @@
+package sim
+
+import "math"
+
+// Rand is a small deterministic PRNG (xorshift64*), used to synthesise
+// per-task execution and memory times for the trace generator. It is
+// seedable and splittable so that every workload is reproducible and
+// independent of Go's global rand state.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a PRNG seeded with seed (zero is remapped).
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{state: seed}
+}
+
+// Split derives an independent stream from the current state.
+func (r *Rand) Split() *Rand {
+	return NewRand(r.Uint64() ^ 0xD1B54A32D192ED03)
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a normally distributed value with the given mean and
+// standard deviation (Box-Muller, one value per call).
+func (r *Rand) Norm(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// TruncNorm returns a normal sample clamped to [lo, hi].
+func (r *Rand) TruncNorm(mean, stddev, lo, hi float64) float64 {
+	v := r.Norm(mean, stddev)
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

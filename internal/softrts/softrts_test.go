@@ -1,0 +1,149 @@
+package softrts
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nexuspp/internal/core"
+	"nexuspp/internal/depgraph"
+	"nexuspp/internal/sim"
+	"nexuspp/internal/trace"
+	"nexuspp/internal/workload"
+)
+
+func cfg(workers int) Config {
+	c := DefaultConfig(workers)
+	c.RecordSchedule = true
+	return c
+}
+
+func TestCompletesAndValidates(t *testing.T) {
+	for _, p := range []workload.Pattern{
+		workload.PatternIndependent, workload.PatternWavefront,
+		workload.PatternHorizontal, workload.PatternVertical,
+	} {
+		src := workload.Grid(workload.GridConfig{Pattern: p, Rows: 10, Cols: 8, Seed: 3})
+		res, err := Run(cfg(4), src)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if res.TasksExecuted != 80 {
+			t.Fatalf("%v: executed %d", p, res.TasksExecuted)
+		}
+		g := depgraph.Build(src)
+		if err := g.ValidateSchedule(res.Schedule); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+	}
+}
+
+func TestGaussianValidates(t *testing.T) {
+	src := workload.Gaussian(workload.GaussianConfig{N: 16})
+	res, err := Run(cfg(4), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := depgraph.Build(src)
+	if err := g.ValidateSchedule(res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsBadWorkerCount(t *testing.T) {
+	if _, err := Run(Config{Workers: 0}, workload.Independent(1)); err == nil {
+		t.Fatal("accepted zero workers")
+	}
+}
+
+func TestMasterBottleneckCapsScaling(t *testing.T) {
+	// With ~5.2us of software cost per ~19us task, speedup must saturate
+	// far below the worker count: the paper's motivating observation.
+	mk := func() workload.Source {
+		return workload.Grid(workload.GridConfig{Pattern: workload.PatternIndependent, Rows: 30, Cols: 20, Seed: 7})
+	}
+	one, err := Run(DefaultConfig(1), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sixteen, err := Run(DefaultConfig(16), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := float64(one.Makespan) / float64(sixteen.Makespan)
+	if sp > 8 {
+		t.Fatalf("software RTS speedup at 16 cores = %.1f, expected hard saturation", sp)
+	}
+	if sixteen.MasterUtilization < 0.8 {
+		t.Fatalf("master utilization = %.2f, expected the RTS to be the bottleneck", sixteen.MasterUtilization)
+	}
+}
+
+func TestHardwareBeatsSoftwareRTS(t *testing.T) {
+	// The core comparison motivating the paper: at 16 workers, Nexus++
+	// clearly outperforms the software runtime on the same workload.
+	mk := func() workload.Source {
+		return workload.Grid(workload.GridConfig{Pattern: workload.PatternIndependent, Rows: 30, Cols: 20, Seed: 7})
+	}
+	sw, err := Run(DefaultConfig(16), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := core.Run(core.DefaultConfig(16), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(sw.Makespan) < 2*float64(hw.Makespan) {
+		t.Fatalf("hardware (%v) should be >=2x faster than software RTS (%v)", hw.Makespan, sw.Makespan)
+	}
+}
+
+func TestZeroCostConfigGetsDefaults(t *testing.T) {
+	src := workload.Grid(workload.GridConfig{Pattern: workload.PatternIndependent, Rows: 2, Cols: 2, Seed: 1})
+	res, err := Run(Config{Workers: 2, Mem: DefaultConfig(2).Mem}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksExecuted != 4 {
+		t.Fatal("defaults not applied")
+	}
+}
+
+// Property: the software runtime executes any random workload correctly.
+func TestRandomWorkloadsValidateProperty(t *testing.T) {
+	prop := func(seed uint64, wRaw, nRaw uint8) bool {
+		rng := sim.NewRand(seed)
+		workers := int(wRaw%5) + 1
+		n := int(nRaw%30) + 1
+		tasks := make([]trace.TaskSpec, n)
+		for i := range tasks {
+			tasks[i].ID = uint64(i)
+			tasks[i].Exec = sim.Time(rng.Intn(3000)+100) * sim.Nanosecond
+			tasks[i].MemRead = sim.Time(rng.Intn(400)) * sim.Nanosecond
+			tasks[i].MemWrite = sim.Time(rng.Intn(400)) * sim.Nanosecond
+			used := map[uint64]bool{}
+			for k := 0; k <= rng.Intn(3); k++ {
+				a := uint64(rng.Intn(6)+1) * 64
+				if used[a] {
+					continue
+				}
+				used[a] = true
+				tasks[i].Params = append(tasks[i].Params, trace.Param{
+					Addr: a, Size: 64, Mode: trace.AccessMode(rng.Intn(3)),
+				})
+			}
+			if len(tasks[i].Params) == 0 {
+				tasks[i].Params = []trace.Param{{Addr: 8, Size: 8, Mode: trace.InOut}}
+			}
+		}
+		src := workload.FromTrace(&trace.Trace{Name: "prop", Tasks: tasks})
+		res, err := Run(cfg(workers), src)
+		if err != nil {
+			return false
+		}
+		g := depgraph.Build(src)
+		return g.ValidateSchedule(res.Schedule) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+package starss
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Task-graph recording and the "wait on" synchronisation pragma.
+
+// WaitOn blocks until every previously submitted task that accesses any of
+// the given keys has completed — StarSs's "wait on" pragma, a targeted
+// alternative to the full Barrier. Like Barrier, it observes every Submit
+// that returned before the call.
+func (rt *Runtime) WaitOn(keys ...Key) {
+	if len(keys) == 0 {
+		return
+	}
+	reply := make(chan struct{})
+	select {
+	case <-rt.stopped:
+		return
+	case rt.waitCh <- waitReq{keys: keys, reply: reply}:
+		<-reply
+	}
+}
+
+type waitReq struct {
+	keys  []Key
+	reply chan struct{}
+}
+
+// GraphEdge is one recorded dependency: the task To had to wait for (or
+// read the output of) the task From. Indices are submission order.
+type GraphEdge struct {
+	From, To int
+}
+
+// Graph returns the recorded task graph: per-task names and the dependency
+// edges, in submission order. Recording must have been enabled with
+// Config.RecordGraph; otherwise both slices are empty. Call after Barrier
+// or Shutdown for a complete graph.
+func (rt *Runtime) Graph() (names []string, edges []GraphEdge) {
+	reply := make(chan graphSnapshot, 1)
+	select {
+	case <-rt.stopped:
+		return rt.finalGraph.names, rt.finalGraph.edges
+	case rt.graphCh <- reply:
+		snap := <-reply
+		return snap.names, snap.edges
+	}
+}
+
+type graphSnapshot struct {
+	names []string
+	edges []GraphEdge
+}
+
+// ExportDOT writes the recorded task graph in Graphviz DOT format.
+func (rt *Runtime) ExportDOT(w io.Writer) error {
+	names, edges := rt.Graph()
+	if _, err := fmt.Fprintln(w, "digraph starss {"); err != nil {
+		return err
+	}
+	for i, n := range names {
+		label := n
+		if label == "" {
+			label = fmt.Sprintf("task%d", i)
+		}
+		if _, err := fmt.Fprintf(w, "  t%d [label=%q];\n", i, label); err != nil {
+			return err
+		}
+	}
+	sorted := append([]GraphEdge(nil), edges...)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].From != sorted[b].From {
+			return sorted[a].From < sorted[b].From
+		}
+		return sorted[a].To < sorted[b].To
+	})
+	for _, e := range sorted {
+		if _, err := fmt.Fprintf(w, "  t%d -> t%d;\n", e.From, e.To); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// graphRecorder tracks dependency edges during submission, mirroring the
+// sequential-replay oracle: a reader depends on the last writer of each
+// key; a writer additionally depends on every reader since.
+type graphRecorder struct {
+	names        []string
+	edges        []GraphEdge
+	lastWriter   map[Key]int
+	readersSince map[Key][]int
+}
+
+func newGraphRecorder() *graphRecorder {
+	return &graphRecorder{
+		lastWriter:   make(map[Key]int),
+		readersSince: make(map[Key][]int),
+	}
+}
+
+func (g *graphRecorder) record(node *taskNode) {
+	id := len(g.names)
+	g.names = append(g.names, node.task.Name)
+	seen := make(map[int]bool)
+	addEdge := func(from int) {
+		if from == id || seen[from] {
+			return
+		}
+		seen[from] = true
+		g.edges = append(g.edges, GraphEdge{From: from, To: id})
+	}
+	for _, d := range node.deps {
+		if d.Mode != ModeOut {
+			if w, ok := g.lastWriter[d.Key]; ok {
+				addEdge(w)
+			}
+		}
+		if d.Mode != ModeIn {
+			if w, ok := g.lastWriter[d.Key]; ok {
+				addEdge(w)
+			}
+			for _, r := range g.readersSince[d.Key] {
+				addEdge(r)
+			}
+			g.lastWriter[d.Key] = id
+			g.readersSince[d.Key] = g.readersSince[d.Key][:0]
+		} else {
+			g.readersSince[d.Key] = append(g.readersSince[d.Key], id)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package starss
+
+import (
+	"bytes"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWaitOnKeys(t *testing.T) {
+	rt := New(Config{Workers: 4})
+	defer rt.Shutdown()
+	var aDone, bDone atomic.Bool
+	block := make(chan struct{})
+	rt.MustSubmit(Task{
+		Deps: []Dep{Out("a")},
+		Run:  func() { aDone.Store(true) },
+	})
+	rt.MustSubmit(Task{
+		Deps: []Dep{Out("b")},
+		Run:  func() { <-block; bDone.Store(true) },
+	})
+	// Waiting on "a" must not wait for the blocked "b" task.
+	rt.WaitOn("a")
+	if !aDone.Load() {
+		t.Fatal("WaitOn(a) returned before a's task finished")
+	}
+	if bDone.Load() {
+		t.Fatal("b finished unexpectedly early")
+	}
+	close(block)
+	rt.WaitOn("b")
+	if !bDone.Load() {
+		t.Fatal("WaitOn(b) returned before b's task finished")
+	}
+}
+
+func TestWaitOnUnusedKeyReturnsImmediately(t *testing.T) {
+	rt := New(Config{Workers: 1})
+	defer rt.Shutdown()
+	rt.WaitOn("never-used") // must not hang
+	rt.WaitOn()             // empty key set is a no-op
+}
+
+func TestWaitOnAfterShutdown(t *testing.T) {
+	rt := New(Config{Workers: 1})
+	rt.Shutdown()
+	rt.WaitOn("x") // must not hang
+}
+
+func TestGraphRecording(t *testing.T) {
+	rt := New(Config{Workers: 2, RecordGraph: true})
+	rt.MustSubmit(Task{Name: "w", Deps: []Dep{Out("k")}, Run: func() {}})
+	rt.MustSubmit(Task{Name: "r1", Deps: []Dep{In("k")}, Run: func() {}})
+	rt.MustSubmit(Task{Name: "r2", Deps: []Dep{In("k")}, Run: func() {}})
+	rt.MustSubmit(Task{Name: "w2", Deps: []Dep{Out("k")}, Run: func() {}})
+	rt.Barrier()
+	names, edges := rt.Graph()
+	if len(names) != 4 || names[0] != "w" || names[3] != "w2" {
+		t.Fatalf("names = %v", names)
+	}
+	// Expected edges: r1<-w, r2<-w, w2<-w (WAW), w2<-r1, w2<-r2 (WAR).
+	if len(edges) != 5 {
+		t.Fatalf("edges = %v", edges)
+	}
+	has := func(from, to int) bool {
+		for _, e := range edges {
+			if e.From == from && e.To == to {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 3}, {2, 3}} {
+		if !has(e[0], e[1]) {
+			t.Errorf("missing edge %d->%d in %v", e[0], e[1], edges)
+		}
+	}
+	rt.Shutdown()
+	// The graph stays readable after shutdown.
+	names2, edges2 := rt.Graph()
+	if len(names2) != 4 || len(edges2) != 5 {
+		t.Fatalf("post-shutdown graph %v %v", names2, edges2)
+	}
+}
+
+func TestGraphDisabledIsEmpty(t *testing.T) {
+	rt := New(Config{Workers: 1})
+	rt.MustSubmit(Task{Deps: []Dep{Out("k")}, Run: func() {}})
+	rt.Barrier()
+	names, edges := rt.Graph()
+	if len(names) != 0 || len(edges) != 0 {
+		t.Fatalf("recording disabled but graph = %v %v", names, edges)
+	}
+	rt.Shutdown()
+}
+
+func TestExportDOT(t *testing.T) {
+	rt := New(Config{Workers: 1, RecordGraph: true})
+	rt.MustSubmit(Task{Name: "producer", Deps: []Dep{Out("k")}, Run: func() {}})
+	rt.MustSubmit(Task{Deps: []Dep{In("k")}, Run: func() {}})
+	rt.Barrier()
+	var buf bytes.Buffer
+	if err := rt.ExportDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rt.Shutdown()
+	out := buf.String()
+	for _, want := range []string{"digraph starss {", `t0 [label="producer"]`, `t1 [label="task1"]`, "t0 -> t1;", "}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGraphMatchesHazardSemantics(t *testing.T) {
+	// Inout chains record one edge per link.
+	rt := New(Config{Workers: 4, RecordGraph: true})
+	for i := 0; i < 10; i++ {
+		rt.MustSubmit(Task{Deps: []Dep{InOut("c")}, Run: func() {}})
+	}
+	rt.Barrier()
+	_, edges := rt.Graph()
+	rt.Shutdown()
+	if len(edges) != 9 {
+		t.Fatalf("chain of 10 should record 9 edges, got %d", len(edges))
+	}
+}

@@ -1,0 +1,501 @@
+// Package starss is a real, executing StarSs-style task-dataflow runtime
+// for Go whose scheduler is the Nexus++ dependency-resolution algorithm.
+//
+// Tasks are Go closures annotated with the data they read and write
+// (In/Out/InOut dependencies on user-chosen keys, the analogue of the
+// paper's base addresses). The runtime discovers RAW dependencies and
+// enforces WAR/WAW hazards without renaming — exactly the semantics of the
+// paper's Dependence Table: concurrent readers share a segment, a writer
+// waits for all previous readers ("a writer waits" flag), and waiters queue
+// in per-segment kick-off lists released by the handle-finished path.
+//
+// Per-worker double buffering is provided through the optional
+// Task.Prefetch hook: while a worker executes one task, its controller
+// goroutine prefetches the next task's inputs, mirroring the paper's Task
+// Controllers (Get Inputs overlapping Run Task).
+//
+// The paper's conclusion notes that parts of Nexus++ "can be reused for
+// other programming models"; this package is that reuse, in library form.
+package starss
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Mode is a dependency direction.
+type Mode uint8
+
+const (
+	// ModeIn marks data the task only reads.
+	ModeIn Mode = iota
+	// ModeOut marks data the task only writes.
+	ModeOut
+	// ModeInOut marks data the task reads and writes.
+	ModeInOut
+)
+
+// String returns the pragma spelling of the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeIn:
+		return "in"
+	case ModeOut:
+		return "out"
+	case ModeInOut:
+		return "inout"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Key identifies a piece of data. Keys are compared with ==; any comparable
+// value works (strings, ints, pointers, small structs).
+type Key interface{}
+
+// Dep declares one data access of a task.
+type Dep struct {
+	Key  Key
+	Mode Mode
+}
+
+// In declares a read-only dependency.
+func In(k Key) Dep { return Dep{Key: k, Mode: ModeIn} }
+
+// Out declares a write-only dependency.
+func Out(k Key) Dep { return Dep{Key: k, Mode: ModeOut} }
+
+// InOut declares a read-write dependency.
+func InOut(k Key) Dep { return Dep{Key: k, Mode: ModeInOut} }
+
+// Task is a unit of work with declared dependencies.
+type Task struct {
+	// Name is optional and used in diagnostics.
+	Name string
+	// Deps declares the data the task accesses. Duplicate keys are merged
+	// (read + write on the same key becomes inout).
+	Deps []Dep
+	// Run executes the task. Required.
+	Run func()
+	// Prefetch, when set, runs on the worker's controller before Run may
+	// start, overlapping the previous task's execution (double buffering).
+	// It must only touch the task's declared In/InOut data.
+	Prefetch func()
+	// WriteBack, when set, runs after Run on the worker (the Put Outputs
+	// phase). The task's outputs are only visible to dependents after it.
+	WriteBack func()
+}
+
+// Config parameterises a Runtime.
+type Config struct {
+	// Workers is the number of worker goroutines; 0 selects GOMAXPROCS.
+	Workers int
+	// BufferingDepth is the per-worker task buffer: 1 disables the
+	// prefetch overlap, 2 (the default) is double buffering.
+	BufferingDepth int
+	// Window bounds the number of in-flight (submitted, unfinished) tasks,
+	// the analogue of the Task Pool size; Submit blocks when it is full.
+	// 0 selects 1024.
+	Window int
+	// RecordGraph keeps the discovered task graph (names and dependency
+	// edges) for Graph/ExportDOT. Memory grows with the task count.
+	RecordGraph bool
+}
+
+// Stats reports runtime counters.
+type Stats struct {
+	Submitted uint64
+	Executed  uint64
+	// MaxInFlight is the high-water mark of submitted-but-unfinished tasks.
+	MaxInFlight int
+	// Hazards counts tasks that had to wait at least once (DC > 0).
+	Hazards uint64
+}
+
+// Runtime schedules and executes tasks.
+type Runtime struct {
+	cfg        Config
+	submitCh   chan *taskNode
+	doneCh     chan *taskNode
+	barrier    chan chan struct{}
+	statsCh    chan chan Stats
+	waitCh     chan waitReq
+	graphCh    chan chan graphSnapshot
+	window     chan struct{}
+	readyCh    chan *taskNode
+	stopOnce   sync.Once
+	stopped    chan struct{}
+	final      Stats         // snapshot taken by Shutdown, readable afterwards
+	finalGraph graphSnapshot // graph snapshot taken by Shutdown
+	workerWG   sync.WaitGroup
+	maestroW   sync.WaitGroup
+}
+
+type taskNode struct {
+	task Task
+	deps []Dep // normalised
+	dc   int
+}
+
+type segState struct {
+	isOut bool
+	rdrs  int
+	ww    bool
+	ko    []segWaiter
+}
+
+type segWaiter struct {
+	node       *taskNode
+	wantsWrite bool
+}
+
+// ErrStopped is returned by Submit after Shutdown.
+var ErrStopped = errors.New("starss: runtime is shut down")
+
+// New starts a runtime with the given configuration.
+func New(cfg Config) *Runtime {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.BufferingDepth <= 0 {
+		cfg.BufferingDepth = 2
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 1024
+	}
+	rt := &Runtime{
+		cfg:      cfg,
+		submitCh: make(chan *taskNode),
+		doneCh:   make(chan *taskNode, cfg.Workers),
+		barrier:  make(chan chan struct{}),
+		statsCh:  make(chan chan Stats),
+		waitCh:   make(chan waitReq),
+		graphCh:  make(chan chan graphSnapshot),
+		window:   make(chan struct{}, cfg.Window),
+		readyCh:  make(chan *taskNode, cfg.Window),
+		stopped:  make(chan struct{}),
+	}
+	rt.maestroW.Add(1)
+	go rt.maestro()
+	rt.workerWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go rt.worker()
+	}
+	return rt
+}
+
+// Submit enqueues a task. It blocks while the in-flight window is full and
+// returns an error for invalid tasks or after Shutdown.
+func (rt *Runtime) Submit(t Task) error {
+	if t.Run == nil {
+		return errors.New("starss: task has no Run function")
+	}
+	deps, err := normalizeDeps(t.Deps)
+	if err != nil {
+		return err
+	}
+	select {
+	case <-rt.stopped:
+		return ErrStopped
+	case rt.window <- struct{}{}:
+	}
+	node := &taskNode{task: t, deps: deps}
+	select {
+	case <-rt.stopped:
+		<-rt.window
+		return ErrStopped
+	case rt.submitCh <- node:
+		return nil
+	}
+}
+
+// MustSubmit is Submit that panics on error, for straight-line example code.
+func (rt *Runtime) MustSubmit(t Task) {
+	if err := rt.Submit(t); err != nil {
+		panic(err)
+	}
+}
+
+// Barrier blocks until every task submitted before the call has completed —
+// the css barrier pragma.
+func (rt *Runtime) Barrier() {
+	reply := make(chan struct{})
+	select {
+	case <-rt.stopped:
+		return
+	case rt.barrier <- reply:
+		<-reply
+	}
+}
+
+// Stats returns a snapshot of the runtime counters. After Shutdown it
+// returns the final counters.
+func (rt *Runtime) Stats() Stats {
+	reply := make(chan Stats, 1)
+	select {
+	case <-rt.stopped:
+		return rt.final
+	case rt.statsCh <- reply:
+		return <-reply
+	}
+}
+
+// Shutdown waits for all submitted tasks and stops the workers. The runtime
+// cannot be reused afterwards.
+func (rt *Runtime) Shutdown() {
+	rt.Barrier()
+	rt.stopOnce.Do(func() {
+		rt.final = rt.Stats()
+		names, edges := rt.Graph()
+		rt.finalGraph = graphSnapshot{names: names, edges: edges}
+		close(rt.stopped)
+		close(rt.readyCh)
+	})
+	rt.workerWG.Wait()
+	rt.maestroW.Wait()
+}
+
+// normalizeDeps merges duplicate keys: any read + any write on the same key
+// becomes inout, duplicate same-mode entries collapse.
+func normalizeDeps(deps []Dep) ([]Dep, error) {
+	if len(deps) <= 1 {
+		return deps, nil
+	}
+	out := make([]Dep, 0, len(deps))
+	index := make(map[Key]int, len(deps))
+	for _, d := range deps {
+		i, seen := index[d.Key]
+		if !seen {
+			index[d.Key] = len(out)
+			out = append(out, d)
+			continue
+		}
+		a, b := out[i].Mode, d.Mode
+		switch {
+		case a == b:
+		case a == ModeInOut:
+		default:
+			out[i].Mode = ModeInOut
+		}
+	}
+	return out, nil
+}
+
+// maestro owns all dependency state; it is the software Task Maestro.
+func (rt *Runtime) maestro() {
+	defer rt.maestroW.Done()
+	segs := make(map[Key]*segState)
+	var (
+		stats    Stats
+		inFlight int
+		barriers []chan struct{}
+		waiters  []waitReq
+		recorder *graphRecorder
+	)
+	if rt.cfg.RecordGraph {
+		recorder = newGraphRecorder()
+	}
+	quiet := func(keys []Key) bool {
+		for _, k := range keys {
+			if _, busy := segs[k]; busy {
+				return false
+			}
+		}
+		return true
+	}
+	checkWaiters := func() {
+		kept := waiters[:0]
+		for _, w := range waiters {
+			if quiet(w.keys) {
+				close(w.reply)
+			} else {
+				kept = append(kept, w)
+			}
+		}
+		waiters = kept
+	}
+	release := func(node *taskNode) {
+		node.dc--
+		if node.dc == 0 {
+			rt.readyCh <- node
+		}
+	}
+	for {
+		select {
+		case <-rt.stopped:
+			return
+		case reply := <-rt.statsCh:
+			reply <- stats
+		case reply := <-rt.graphCh:
+			var snap graphSnapshot
+			if recorder != nil {
+				snap.names = append([]string(nil), recorder.names...)
+				snap.edges = append([]GraphEdge(nil), recorder.edges...)
+			}
+			reply <- snap
+		case w := <-rt.waitCh:
+			if quiet(w.keys) {
+				close(w.reply)
+			} else {
+				waiters = append(waiters, w)
+			}
+		case reply := <-rt.barrier:
+			if inFlight == 0 {
+				close(reply)
+			} else {
+				barriers = append(barriers, reply)
+			}
+		case node := <-rt.submitCh:
+			stats.Submitted++
+			inFlight++
+			if inFlight > stats.MaxInFlight {
+				stats.MaxInFlight = inFlight
+			}
+			if recorder != nil {
+				recorder.record(node)
+			}
+			for _, d := range node.deps {
+				seg := segs[d.Key]
+				wantsWrite := d.Mode != ModeIn
+				if seg == nil {
+					seg = &segState{}
+					segs[d.Key] = seg
+					if wantsWrite {
+						seg.isOut = true
+					} else {
+						seg.rdrs = 1
+					}
+					continue
+				}
+				if !wantsWrite {
+					if !seg.isOut && !seg.ww {
+						seg.rdrs++
+					} else {
+						seg.ko = append(seg.ko, segWaiter{node: node})
+						node.dc++
+					}
+					continue
+				}
+				seg.ko = append(seg.ko, segWaiter{node: node, wantsWrite: true})
+				node.dc++
+				if !seg.isOut {
+					seg.ww = true
+				}
+			}
+			if node.dc == 0 {
+				rt.readyCh <- node
+			} else {
+				stats.Hazards++
+			}
+		case node := <-rt.doneCh:
+			stats.Executed++
+			inFlight--
+			for _, d := range node.deps {
+				seg := segs[d.Key]
+				if seg == nil {
+					panic(fmt.Sprintf("starss: finished task %q references unknown key %v", node.task.Name, d.Key))
+				}
+				if d.Mode == ModeIn {
+					seg.rdrs--
+					if seg.rdrs > 0 {
+						continue
+					}
+					if !seg.ww {
+						delete(segs, d.Key)
+						continue
+					}
+					w := seg.ko[0]
+					seg.ko = seg.ko[1:]
+					seg.isOut = true
+					seg.ww = false
+					release(w.node)
+					continue
+				}
+				seg.isOut = false
+				if len(seg.ko) == 0 {
+					delete(segs, d.Key)
+					continue
+				}
+				if seg.ko[0].wantsWrite {
+					w := seg.ko[0]
+					seg.ko = seg.ko[1:]
+					seg.isOut = true
+					release(w.node)
+					continue
+				}
+				for len(seg.ko) > 0 && !seg.ko[0].wantsWrite {
+					w := seg.ko[0]
+					seg.ko = seg.ko[1:]
+					seg.rdrs++
+					release(w.node)
+				}
+				if len(seg.ko) > 0 {
+					seg.ww = true
+				}
+			}
+			<-rt.window
+			if len(waiters) > 0 {
+				checkWaiters()
+			}
+			if inFlight == 0 {
+				for _, b := range barriers {
+					close(b)
+				}
+				barriers = barriers[:0]
+			}
+		}
+	}
+}
+
+// worker is one worker core plus its Task Controller: a small pipeline that
+// prefetches the inputs of up to BufferingDepth-1 upcoming tasks while the
+// current one executes.
+func (rt *Runtime) worker() {
+	defer rt.workerWG.Done()
+	depth := rt.cfg.BufferingDepth
+	if depth <= 1 {
+		// No buffering: fetch, run and write back serially.
+		for node := range rt.readyCh {
+			rt.execute(node)
+		}
+		return
+	}
+	// The controller goroutine prefetches into a bounded local buffer; this
+	// goroutine executes. Buffer capacity depth-1 means up to depth tasks
+	// are resident per worker (one executing, depth-1 prefetched).
+	local := make(chan *taskNode, depth-1)
+	var ctlWG sync.WaitGroup
+	ctlWG.Add(1)
+	go func() {
+		defer ctlWG.Done()
+		defer close(local)
+		for node := range rt.readyCh {
+			if node.task.Prefetch != nil {
+				node.task.Prefetch()
+			}
+			local <- node
+		}
+	}()
+	for node := range local {
+		rt.runBody(node)
+	}
+	ctlWG.Wait()
+}
+
+// execute performs the full unbuffered task lifecycle.
+func (rt *Runtime) execute(node *taskNode) {
+	if node.task.Prefetch != nil {
+		node.task.Prefetch()
+	}
+	rt.runBody(node)
+}
+
+func (rt *Runtime) runBody(node *taskNode) {
+	node.task.Run()
+	if node.task.WriteBack != nil {
+		node.task.WriteBack()
+	}
+	rt.doneCh <- node
+}

@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"nexuspp/internal/sim"
+)
+
+// Binary trace format (all integers little-endian or uvarint):
+//
+//	magic   [8]byte  "NXTRACE1"
+//	nameLen uvarint, name bytes
+//	count   uvarint
+//	tasks   count records:
+//	   id, func, exec(ps), memRead(ps), memWrite(ps)  uvarint each
+//	   nParams uvarint
+//	   params  nParams x {addr uvarint, size uvarint, mode byte}
+//
+// The format is self-contained and versioned through the magic string.
+
+var traceMagic = [8]byte{'N', 'X', 'T', 'R', 'A', 'C', 'E', '1'}
+
+// ErrBadMagic reports that the input is not a Nexus++ trace file.
+var ErrBadMagic = errors.New("trace: bad magic (not a NXTRACE1 file)")
+
+// Write serialises tr to w in the binary trace format.
+func Write(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return err
+	}
+	putUvarint(bw, uint64(len(tr.Name)))
+	if _, err := bw.WriteString(tr.Name); err != nil {
+		return err
+	}
+	putUvarint(bw, uint64(len(tr.Tasks)))
+	for i := range tr.Tasks {
+		t := &tr.Tasks[i]
+		putUvarint(bw, t.ID)
+		putUvarint(bw, uint64(t.Func))
+		putUvarint(bw, uint64(t.Exec))
+		putUvarint(bw, uint64(t.MemRead))
+		putUvarint(bw, uint64(t.MemWrite))
+		putUvarint(bw, uint64(len(t.Params)))
+		for _, p := range t.Params {
+			putUvarint(bw, p.Addr)
+			putUvarint(bw, uint64(p.Size))
+			if err := bw.WriteByte(byte(p.Mode)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a binary trace from r.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, ErrBadMagic
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading name length: %w", err)
+	}
+	if nameLen > 1<<20 {
+		return nil, fmt.Errorf("trace: unreasonable name length %d", nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading task count: %w", err)
+	}
+	if count > 1<<31 {
+		return nil, fmt.Errorf("trace: unreasonable task count %d", count)
+	}
+	tr := &Trace{Name: string(nameBuf), Tasks: make([]TaskSpec, 0, count)}
+	for i := uint64(0); i < count; i++ {
+		var t TaskSpec
+		fields := []*uint64{&t.ID}
+		for _, dst := range fields {
+			if *dst, err = binary.ReadUvarint(br); err != nil {
+				return nil, fmt.Errorf("trace: task %d: %w", i, err)
+			}
+		}
+		fn, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: task %d func: %w", i, err)
+		}
+		t.Func = uint32(fn)
+		for _, dst := range []*sim.Time{&t.Exec, &t.MemRead, &t.MemWrite} {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: task %d time: %w", i, err)
+			}
+			*dst = sim.Time(v)
+		}
+		nParams, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: task %d param count: %w", i, err)
+		}
+		if nParams > 1<<20 {
+			return nil, fmt.Errorf("trace: task %d has unreasonable param count %d", i, nParams)
+		}
+		t.Params = make([]Param, nParams)
+		for j := range t.Params {
+			p := &t.Params[j]
+			if p.Addr, err = binary.ReadUvarint(br); err != nil {
+				return nil, fmt.Errorf("trace: task %d param %d addr: %w", i, j, err)
+			}
+			sz, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: task %d param %d size: %w", i, j, err)
+			}
+			p.Size = uint32(sz)
+			mode, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("trace: task %d param %d mode: %w", i, j, err)
+			}
+			if mode > byte(InOut) {
+				return nil, fmt.Errorf("trace: task %d param %d has invalid mode %d", i, j, mode)
+			}
+			p.Mode = AccessMode(mode)
+		}
+		tr.Tasks = append(tr.Tasks, t)
+	}
+	return tr, nil
+}
+
+// Dump writes a human-readable listing of the first limit tasks (all tasks
+// when limit <= 0), for cmd/tracegen's inspect mode.
+func Dump(w io.Writer, tr *Trace, limit int) error {
+	bw := bufio.NewWriter(w)
+	st := tr.Stats()
+	fmt.Fprintf(bw, "trace %q: %d tasks, mean exec %v, mean mem %v, max params %d\n",
+		tr.Name, st.Tasks, st.MeanExec, st.MeanMem, st.MaxParams)
+	n := len(tr.Tasks)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	for i := 0; i < n; i++ {
+		t := &tr.Tasks[i]
+		fmt.Fprintf(bw, "  task %d f=%d exec=%v read=%v write=%v params=[", t.ID, t.Func, t.Exec, t.MemRead, t.MemWrite)
+		for j, p := range t.Params {
+			if j > 0 {
+				fmt.Fprint(bw, " ")
+			}
+			fmt.Fprintf(bw, "%#x/%d/%s", p.Addr, p.Size, p.Mode)
+		}
+		fmt.Fprintln(bw, "]")
+	}
+	if n < len(tr.Tasks) {
+		fmt.Fprintf(bw, "  ... %d more tasks\n", len(tr.Tasks)-n)
+	}
+	return bw.Flush()
+}
+
+func putUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}

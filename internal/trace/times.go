@@ -1,0 +1,60 @@
+package trace
+
+import "nexuspp/internal/sim"
+
+// TimeSampler produces per-task phase durations. Implementations must be
+// deterministic functions of their own seeded state.
+type TimeSampler interface {
+	// Sample returns the execution, memory-read and memory-write durations
+	// for the next task.
+	Sample() (exec, memRead, memWrite sim.Time)
+}
+
+// H264Times reproduces the published statistics of the paper's Cell H.264
+// decoding trace: "on average a task spends 7.5us for accessing off-chip
+// memory and 11.8us for execution". Per-task values are drawn from truncated
+// normal distributions around those means; the memory time is split 2:1
+// between reads and writes (a decode task fetches two reference blocks and
+// writes one).
+type H264Times struct {
+	ExecMean sim.Time
+	ExecStd  sim.Time
+	MemMean  sim.Time
+	MemStd   sim.Time
+	rng      *sim.Rand
+}
+
+// NewH264Times returns a sampler with the paper's means and a deterministic
+// stream derived from seed.
+func NewH264Times(seed uint64) *H264Times {
+	return &H264Times{
+		ExecMean: 11800 * sim.Nanosecond,
+		ExecStd:  3000 * sim.Nanosecond,
+		MemMean:  7500 * sim.Nanosecond,
+		MemStd:   1800 * sim.Nanosecond,
+		rng:      sim.NewRand(seed),
+	}
+}
+
+// Sample implements TimeSampler.
+func (h *H264Times) Sample() (exec, memRead, memWrite sim.Time) {
+	e := h.rng.TruncNorm(float64(h.ExecMean), float64(h.ExecStd),
+		float64(h.ExecMean)/8, float64(h.ExecMean)*3)
+	m := h.rng.TruncNorm(float64(h.MemMean), float64(h.MemStd),
+		float64(h.MemMean)/8, float64(h.MemMean)*3)
+	exec = sim.Time(e)
+	memRead = sim.Time(m * 2 / 3)
+	memWrite = sim.Time(m) - memRead
+	return exec, memRead, memWrite
+}
+
+// FixedTimes is a TimeSampler returning constant durations; useful in tests
+// and for idealised experiments.
+type FixedTimes struct {
+	Exec, MemRead, MemWrite sim.Time
+}
+
+// Sample implements TimeSampler.
+func (f FixedTimes) Sample() (exec, memRead, memWrite sim.Time) {
+	return f.Exec, f.MemRead, f.MemWrite
+}

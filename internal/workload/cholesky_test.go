@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nexuspp/internal/trace"
+)
+
+func TestCholeskyTaskCount(t *testing.T) {
+	cases := map[int]int{
+		1: 1,                 // just POTRF(0)
+		2: 1 + 1 + 1 + 0 + 1, // potrf0, trsm, syrk, potrf1
+		3: 3 + 3 + 3 + 1,
+		4: 4 + 6 + 6 + 4,
+	}
+	for tiles, want := range cases {
+		if got := CholeskyTaskCount(tiles); got != want {
+			t.Errorf("CholeskyTaskCount(%d) = %d, want %d", tiles, got, want)
+		}
+		src := Cholesky(CholeskyConfig{Tiles: tiles})
+		if src.Total() != want {
+			t.Errorf("Total(%d) = %d, want %d", tiles, src.Total(), want)
+		}
+	}
+	if CholeskyTaskCount(0) != 0 {
+		t.Error("zero tiles should have zero tasks")
+	}
+}
+
+func TestCholeskyExhaustive(t *testing.T) {
+	for _, tiles := range []int{1, 2, 3, 5, 8} {
+		if err := CheckExhaustive(Cholesky(CholeskyConfig{Tiles: tiles})); err != nil {
+			t.Errorf("tiles=%d: %v", tiles, err)
+		}
+	}
+}
+
+func TestCholeskyKernelSequence(t *testing.T) {
+	tr := Collect(Cholesky(CholeskyConfig{Tiles: 3}))
+	var kinds []uint32
+	for _, task := range tr.Tasks {
+		kinds = append(kinds, task.Func)
+	}
+	want := []uint32{
+		CholPOTRF, CholTRSM, CholTRSM, CholSYRK, CholSYRK, CholGEMM, // k=0
+		CholPOTRF, CholTRSM, CholSYRK, // k=1
+		CholPOTRF, // k=2
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds[%d] = %d, want %d (%v)", i, kinds[i], want[i], kinds)
+		}
+	}
+}
+
+func TestCholeskyParamsWellFormed(t *testing.T) {
+	tr := Collect(Cholesky(CholeskyConfig{Tiles: 6}))
+	for _, task := range tr.Tasks {
+		switch task.Func {
+		case CholPOTRF:
+			if len(task.Params) != 1 || task.Params[0].Mode != trace.InOut {
+				t.Fatalf("potrf params = %+v", task.Params)
+			}
+		case CholTRSM, CholSYRK:
+			if len(task.Params) != 2 || task.Params[0].Mode != trace.In || task.Params[1].Mode != trace.InOut {
+				t.Fatalf("trsm/syrk params = %+v", task.Params)
+			}
+		case CholGEMM:
+			if len(task.Params) != 3 || task.Params[2].Mode != trace.InOut {
+				t.Fatalf("gemm params = %+v", task.Params)
+			}
+		default:
+			t.Fatalf("unknown kernel %d", task.Func)
+		}
+	}
+}
+
+func TestCholeskyKernelCosts(t *testing.T) {
+	// B=64, 2 GFLOPS: potrf = 64^3/3 flops -> ~43.7us exec; gemm = 2*64^3
+	// -> 262us. Tile = 16KB -> 128 chunks -> 1.536us per tile moved.
+	tr := Collect(Cholesky(CholeskyConfig{Tiles: 2, TileSize: 64}))
+	potrf := tr.Tasks[0]
+	if potrf.Exec <= 0 || potrf.MemRead != potrf.MemWrite {
+		t.Fatalf("potrf times: %+v", potrf)
+	}
+	var gemmExec, trsmExec int64
+	for _, task := range Collect(Cholesky(CholeskyConfig{Tiles: 3, TileSize: 64})).Tasks {
+		switch task.Func {
+		case CholGEMM:
+			gemmExec = int64(task.Exec)
+		case CholTRSM:
+			trsmExec = int64(task.Exec)
+		}
+	}
+	if gemmExec != 2*trsmExec {
+		t.Fatalf("gemm exec %d should be 2x trsm exec %d", gemmExec, trsmExec)
+	}
+}
+
+func TestCholeskyPanicsOnZeroTiles(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Cholesky(0 tiles) did not panic")
+		}
+	}()
+	Cholesky(CholeskyConfig{})
+}
+
+// Property: any tile count yields an exhaustive source whose per-kernel
+// counts match the closed forms.
+func TestCholeskyCountsProperty(t *testing.T) {
+	prop := func(tRaw uint8) bool {
+		tiles := int(tRaw%12) + 1
+		src := Cholesky(CholeskyConfig{Tiles: tiles})
+		if CheckExhaustive(src) != nil {
+			return false
+		}
+		src.Reset()
+		counts := map[uint32]int{}
+		for {
+			task, ok := src.Next()
+			if !ok {
+				break
+			}
+			counts[task.Func]++
+		}
+		return counts[CholPOTRF] == tiles &&
+			counts[CholTRSM] == tiles*(tiles-1)/2 &&
+			counts[CholSYRK] == tiles*(tiles-1)/2 &&
+			counts[CholGEMM] == tiles*(tiles-1)*(tiles-2)/6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

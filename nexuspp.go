@@ -1,0 +1,88 @@
+package nexuspp
+
+import (
+	"nexuspp/internal/core"
+	"nexuspp/internal/depgraph"
+	"nexuspp/internal/starss"
+	"nexuspp/internal/trace"
+	"nexuspp/internal/workload"
+)
+
+// --- Hardware simulation -----------------------------------------------
+
+// Config parameterises a simulated Nexus++ system (the paper's Table IV).
+type Config = core.Config
+
+// Result reports one simulation run.
+type Result = core.Result
+
+// Costs gives the per-block service costs in Nexus++ cycles.
+type Costs = core.Costs
+
+// DefaultConfig returns the paper's configuration for the given number of
+// worker cores, with double buffering enabled.
+func DefaultConfig(workers int) Config { return core.DefaultConfig(workers) }
+
+// Simulate runs src to completion on a Nexus++ system described by cfg.
+func Simulate(cfg Config, src Source) (*Result, error) { return core.Run(cfg, src) }
+
+// --- Workloads -----------------------------------------------------------
+
+// Source streams tasks in submission order.
+type Source = workload.Source
+
+// TaskSpec describes one traced task.
+type TaskSpec = trace.TaskSpec
+
+// Param is one entry of a task's input/output list.
+type Param = trace.Param
+
+// Independent returns the paper's independent-task benchmark (8160
+// H.264-sized tasks, no dependencies).
+func Independent(seed uint64) Source { return workload.Independent(seed) }
+
+// Wavefront returns the H.264 macroblock wavefront benchmark (Figure 4a).
+func Wavefront(seed uint64) Source { return workload.Wavefront(seed) }
+
+// HorizontalChains returns the Figure 4(b) benchmark.
+func HorizontalChains(seed uint64) Source { return workload.HorizontalChains(seed) }
+
+// VerticalChains returns the Figure 4(c) benchmark.
+func VerticalChains(seed uint64) Source { return workload.VerticalChains(seed) }
+
+// GaussianElimination returns the Gaussian elimination with partial
+// pivoting task graph (Figure 5) for an n x n matrix.
+func GaussianElimination(n int) Source {
+	return workload.Gaussian(workload.GaussianConfig{N: n})
+}
+
+// Oracle builds the reference dependency graph of a workload; its analyses
+// bound every achievable speedup and validate simulated schedules.
+func Oracle(src Source) *depgraph.Graph { return depgraph.Build(src) }
+
+// --- Executing runtime ----------------------------------------------------
+
+// Runtime is a real StarSs-style task-dataflow runtime for Go closures,
+// scheduled by the Nexus++ dependency-resolution algorithm.
+type Runtime = starss.Runtime
+
+// RuntimeConfig parameterises a Runtime.
+type RuntimeConfig = starss.Config
+
+// Task is a unit of executable work with declared dependencies.
+type Task = starss.Task
+
+// Dep declares one data access of a Task.
+type Dep = starss.Dep
+
+// In declares a read-only dependency on k.
+func In(k interface{}) Dep { return starss.In(k) }
+
+// Out declares a write-only dependency on k.
+func Out(k interface{}) Dep { return starss.Out(k) }
+
+// InOut declares a read-write dependency on k.
+func InOut(k interface{}) Dep { return starss.InOut(k) }
+
+// NewRuntime starts an executing runtime.
+func NewRuntime(cfg RuntimeConfig) *Runtime { return starss.New(cfg) }

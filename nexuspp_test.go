@@ -1,0 +1,75 @@
+package nexuspp_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"nexuspp"
+)
+
+func TestFacadeSimulation(t *testing.T) {
+	cfg := nexuspp.DefaultConfig(4)
+	res, err := nexuspp.Simulate(cfg, nexuspp.GaussianElimination(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksExecuted == 0 || res.Makespan <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	for _, src := range []nexuspp.Source{
+		nexuspp.Independent(1),
+		nexuspp.Wavefront(1),
+		nexuspp.HorizontalChains(1),
+		nexuspp.VerticalChains(1),
+	} {
+		if src.Total() != 8160 {
+			t.Errorf("%s Total = %d, want 8160", src.Name(), src.Total())
+		}
+	}
+	if got := nexuspp.GaussianElimination(250).Total(); got != 31374 {
+		t.Errorf("gaussian-250 Total = %d, want 31374 (Table II)", got)
+	}
+}
+
+func TestFacadeOracle(t *testing.T) {
+	g := nexuspp.Oracle(nexuspp.VerticalChains(1))
+	a := g.Analyze()
+	// 68 column chains: max width 68.
+	if a.MaxWidth != 68 {
+		t.Errorf("vertical max width = %d, want 68", a.MaxWidth)
+	}
+}
+
+func TestFacadeRuntime(t *testing.T) {
+	rt := nexuspp.NewRuntime(nexuspp.RuntimeConfig{Workers: 2})
+	var order []string
+	var n atomic.Int64
+	rt.MustSubmit(nexuspp.Task{
+		Deps: []nexuspp.Dep{nexuspp.Out("x")},
+		Run:  func() { order = append(order, "w"); n.Add(1) },
+	})
+	rt.MustSubmit(nexuspp.Task{
+		Deps: []nexuspp.Dep{nexuspp.In("x"), nexuspp.InOut("y")},
+		Run:  func() { order = append(order, "r"); n.Add(1) },
+	})
+	rt.Shutdown()
+	if n.Load() != 2 || order[0] != "w" || order[1] != "r" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSimulationMatchesOracleBound(t *testing.T) {
+	// No simulated schedule may beat the critical path.
+	src := nexuspp.Wavefront(9)
+	an := nexuspp.Oracle(src).Analyze()
+	res, err := nexuspp.Simulate(nexuspp.DefaultConfig(256), nexuspp.Wavefront(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan < an.CriticalPath {
+		t.Fatalf("makespan %v beats the critical path %v", res.Makespan, an.CriticalPath)
+	}
+}
