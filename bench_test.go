@@ -8,6 +8,7 @@ package nexuspp_test
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"nexuspp"
@@ -244,6 +245,121 @@ func BenchmarkRuntimeThroughput(b *testing.B) {
 		}
 	}
 	rt.Barrier()
+}
+
+// BenchmarkShardScalability is the contended-vs-independent-keys
+// scalability benchmark for the sharded dependency banks, against the
+// retained single-maestro baseline (every Submit and finish funnels
+// through one resolver goroutine — the serialization the paper motivates
+// against) and against the sharded table clamped to one bank. On
+// independent keys (each submitter goroutine owns a disjoint key range)
+// sharding must win; on one globally contended key the dependency chain
+// itself is serial and no resolver design can help. Both are measured as
+// full Submit→completion throughput (tasks/s, submission from GOMAXPROCS
+// goroutines, Barrier included). `go run ./cmd/nexusbench shards` prints
+// the same comparison as a table.
+func BenchmarkShardScalability(b *testing.B) {
+	resolvers := []struct {
+		name string
+		mk   func(workers int) starss.TaskRuntime
+	}{
+		{"maestro", func(w int) starss.TaskRuntime {
+			return starss.NewMaestro(starss.Config{Workers: w, Window: 4096})
+		}},
+		{"single_bank", func(w int) starss.TaskRuntime {
+			return starss.New(starss.Config{Workers: w, Shards: 1, Window: 4096})
+		}},
+		{"sharded", func(w int) starss.TaskRuntime {
+			return starss.New(starss.Config{Workers: w, Window: 4096})
+		}},
+	}
+	for _, workers := range []int{4, 8} {
+		for _, tc := range resolvers {
+			tc := tc
+			b.Run("independent_w"+itoa(workers)+"_"+tc.name, func(b *testing.B) {
+				rt := tc.mk(workers)
+				var gid atomic.Int64
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					g := gid.Add(1)
+					i := int64(0)
+					for pb.Next() {
+						i++
+						if err := rt.Submit(starss.Task{
+							Deps: []starss.Dep{starss.InOut([2]int64{g, i % 512})},
+							Run:  func() {},
+						}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				rt.Barrier()
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+				rt.Shutdown()
+			})
+			b.Run("contended_w"+itoa(workers)+"_"+tc.name, func(b *testing.B) {
+				rt := tc.mk(workers)
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						if err := rt.Submit(starss.Task{
+							Deps: []starss.Dep{starss.InOut("hot")},
+							Run:  func() {},
+						}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				rt.Barrier()
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+				rt.Shutdown()
+			})
+		}
+	}
+}
+
+// BenchmarkSubmitAll measures the batch-admission amortisation against
+// task-at-a-time Submit on the same independent-keys workload.
+func BenchmarkSubmitAll(b *testing.B) {
+	const batch = 256
+	mkTasks := func(round int) []starss.Task {
+		tasks := make([]starss.Task, batch)
+		for i := range tasks {
+			tasks[i] = starss.Task{
+				Deps: []starss.Dep{starss.InOut([2]int{round, i})},
+				Run:  func() {},
+			}
+		}
+		return tasks
+	}
+	b.Run("loop_submit", func(b *testing.B) {
+		rt := starss.New(starss.Config{Workers: 4, Window: 1024})
+		defer rt.Shutdown()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, t := range mkTasks(i) {
+				if err := rt.Submit(t); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		rt.Barrier()
+		b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "tasks/s")
+	})
+	b.Run("submit_all", func(b *testing.B) {
+		rt := starss.New(starss.Config{Workers: 4, Window: 1024})
+		defer rt.Shutdown()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := rt.SubmitAll(mkTasks(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rt.Barrier()
+		b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "tasks/s")
+	})
 }
 
 func BenchmarkRuntimeGaussian64(b *testing.B) {

@@ -6,7 +6,11 @@
 //	nexusbench [flags] [experiment...]
 //
 // Experiments: table2, fig6, fig7, fig8, headline, ablation-buffering,
-// ablation-dummies, rts, nexus, all (default).
+// ablation-dummies, rts, nexus, cholesky, shards, all (default).
+//
+// The shards experiment exercises the executing runtime (internal/starss)
+// rather than the simulator: it contrasts single-bank and sharded
+// dependency resolution on independent-keys and contended workloads.
 //
 // Flags:
 //
@@ -59,6 +63,7 @@ func main() {
 		{"rts", experiments.RTSComparison},
 		{"nexus", experiments.NexusComparison},
 		{"cholesky", experiments.Cholesky},
+		{"shards", experiments.ShardScaling},
 	}
 
 	want := flag.Args()

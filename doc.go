@@ -3,7 +3,8 @@
 // the Nexus++ hardware task-management accelerator, the simulation
 // infrastructure used to evaluate it, the baselines it is compared against,
 // and a real executing StarSs-style task runtime built on the same
-// dependency-resolution algorithm.
+// dependency-resolution algorithm, with the dependence table sharded into
+// lock-striped banks so independent keys resolve concurrently.
 //
 // The package itself is a thin facade over the internal packages; see
 // README.md for the architecture and DESIGN.md for the paper-to-code map.
@@ -16,7 +17,10 @@
 //
 // Running real Go tasks with StarSs semantics:
 //
-//	rt := nexuspp.NewRuntime(nexuspp.RuntimeConfig{Workers: 8})
+//	rt := nexuspp.NewRuntime(nexuspp.RuntimeConfig{
+//		Workers: 8,
+//		Shards:  64, // dependency-table banks; 0 = default, 1 = single bank
+//	})
 //	rt.MustSubmit(nexuspp.Task{
 //		Deps: []nexuspp.Dep{nexuspp.Out("block")},
 //		Run:  func() { produce() },
@@ -26,4 +30,8 @@
 //		Run:  func() { consume() },
 //	})
 //	rt.Shutdown()
+//
+// Batches of tasks can be admitted under one bank acquisition with
+// rt.SubmitAll([]nexuspp.Task{...}), which amortises locking on
+// high-frequency submission paths.
 package nexuspp

@@ -17,7 +17,10 @@ import (
 
 func main() {
 	// --- 1. Executing runtime -------------------------------------------
-	rt := nexuspp.NewRuntime(nexuspp.RuntimeConfig{Workers: 4})
+	// Shards is the number of dependency-table banks (the software
+	// analogue of the Nexus++ Dependence Table banks); 0 picks a default
+	// scaled to Workers.
+	rt := nexuspp.NewRuntime(nexuspp.RuntimeConfig{Workers: 4, Shards: 16})
 
 	// A tiny dataflow: two independent producers, one consumer, exactly
 	// like annotating three function calls with StarSs pragmas.

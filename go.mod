@@ -1,0 +1,3 @@
+module nexuspp
+
+go 1.24

@@ -204,3 +204,22 @@ func TestProgressLogging(t *testing.T) {
 		t.Errorf("progress log empty: %q", log.String())
 	}
 }
+
+func TestShardScalingQuick(t *testing.T) {
+	tbl, err := ShardScaling(Options{Cores: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 1 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"maestro", "sharded"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("missing column %q in:\n%s", want, buf.String())
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 )
 
 // Task-graph recording and the "wait on" synchronisation pragma.
@@ -16,13 +17,25 @@ func (rt *Runtime) WaitOn(keys ...Key) {
 	if len(keys) == 0 {
 		return
 	}
-	reply := make(chan struct{})
 	select {
 	case <-rt.stopped:
 		return
-	case rt.waitCh <- waitReq{keys: keys, reply: reply}:
-		<-reply
+	default:
 	}
+	// Register before probing: the finish path only takes coord when it
+	// sees a positive waiter count, so the count must be visible before
+	// the segments this waiter saw busy can drain.
+	reply := make(chan struct{})
+	rt.coord.Lock()
+	rt.waiterCount.Add(1)
+	if rt.quiet(keys) {
+		rt.waiterCount.Add(-1)
+		rt.coord.Unlock()
+		return
+	}
+	rt.waiters = append(rt.waiters, waitReq{keys: keys, reply: reply})
+	rt.coord.Unlock()
+	<-reply
 }
 
 type waitReq struct {
@@ -41,19 +54,14 @@ type GraphEdge struct {
 // Config.RecordGraph; otherwise both slices are empty. Call after Barrier
 // or Shutdown for a complete graph.
 func (rt *Runtime) Graph() (names []string, edges []GraphEdge) {
-	reply := make(chan graphSnapshot, 1)
-	select {
-	case <-rt.stopped:
-		return rt.finalGraph.names, rt.finalGraph.edges
-	case rt.graphCh <- reply:
-		snap := <-reply
-		return snap.names, snap.edges
+	if rt.recorder == nil {
+		return nil, nil
 	}
-}
-
-type graphSnapshot struct {
-	names []string
-	edges []GraphEdge
+	rt.recorder.mu.Lock()
+	defer rt.recorder.mu.Unlock()
+	names = append([]string(nil), rt.recorder.names...)
+	edges = append([]GraphEdge(nil), rt.recorder.edges...)
+	return names, edges
 }
 
 // ExportDOT writes the recorded task graph in Graphviz DOT format.
@@ -89,8 +97,11 @@ func (rt *Runtime) ExportDOT(w io.Writer) error {
 
 // graphRecorder tracks dependency edges during submission, mirroring the
 // sequential-replay oracle: a reader depends on the last writer of each
-// key; a writer additionally depends on every reader since.
+// key; a writer additionally depends on every reader since. With several
+// goroutines submitting concurrently, the recorded order is the order in
+// which submissions reach the recorder.
 type graphRecorder struct {
+	mu           sync.Mutex
 	names        []string
 	edges        []GraphEdge
 	lastWriter   map[Key]int
@@ -105,6 +116,8 @@ func newGraphRecorder() *graphRecorder {
 }
 
 func (g *graphRecorder) record(node *taskNode) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	id := len(g.names)
 	g.names = append(g.names, node.task.Name)
 	seen := make(map[int]bool)

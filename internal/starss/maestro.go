@@ -1,0 +1,300 @@
+package starss
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file retains the original single-maestro resolver as a measurable
+// baseline, the same way internal/nexus1 and internal/softrts retain the
+// systems the paper compares against. Every Submit and every task-finished
+// event funnels through one resolver goroutine over synchronous channels —
+// the exact software serialization bottleneck the paper's SSI motivation
+// describes and the sharded Runtime removes. New code should use New; use
+// NewMaestro only to measure against it (cmd/nexusbench shards,
+// BenchmarkShardScalability).
+
+// TaskRuntime is the execution interface shared by the sharded Runtime and
+// the retained single-maestro baseline, for benchmarks that drive both.
+type TaskRuntime interface {
+	Submit(Task) error
+	MustSubmit(Task)
+	Barrier()
+	Stats() Stats
+	Shutdown()
+}
+
+// MaestroRuntime is the original single-resolver runtime. All dependency
+// state is owned by one maestro goroutine; Submit hands every task to it
+// over an unbuffered channel and finished tasks queue back the same way.
+type MaestroRuntime struct {
+	cfg      Config
+	submitCh chan *taskNode
+	doneCh   chan *taskNode
+	barrier  chan chan struct{}
+	statsCh  chan chan Stats
+	window   chan struct{}
+	readyCh  chan *taskNode
+	stopOnce sync.Once
+	stopped  chan struct{}
+	final    Stats // snapshot taken by Shutdown, readable afterwards
+	workerWG sync.WaitGroup
+	maestroW sync.WaitGroup
+}
+
+// NewMaestro starts the single-maestro baseline runtime. It supports the
+// core task lifecycle (Submit, Barrier, Stats, Shutdown) but not the
+// sharded Runtime's extensions (SubmitAll, WaitOn, graph recording).
+func NewMaestro(cfg Config) *MaestroRuntime {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.BufferingDepth <= 0 {
+		cfg.BufferingDepth = 2
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 1024
+	}
+	m := &MaestroRuntime{
+		cfg:      cfg,
+		submitCh: make(chan *taskNode),
+		doneCh:   make(chan *taskNode, cfg.Workers),
+		barrier:  make(chan chan struct{}),
+		statsCh:  make(chan chan Stats),
+		window:   make(chan struct{}, cfg.Window),
+		readyCh:  make(chan *taskNode, cfg.Window),
+		stopped:  make(chan struct{}),
+	}
+	m.maestroW.Add(1)
+	go m.maestro()
+	m.workerWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// Submit enqueues a task through the maestro goroutine.
+func (m *MaestroRuntime) Submit(t Task) error {
+	node, err := makeNode(t)
+	if err != nil {
+		return err
+	}
+	select {
+	case <-m.stopped:
+		return ErrStopped
+	case m.window <- struct{}{}:
+	}
+	select {
+	case <-m.stopped:
+		<-m.window
+		return ErrStopped
+	case m.submitCh <- node:
+		return nil
+	}
+}
+
+// MustSubmit is Submit that panics on error.
+func (m *MaestroRuntime) MustSubmit(t Task) {
+	if err := m.Submit(t); err != nil {
+		panic(err)
+	}
+}
+
+// Barrier blocks until every task submitted before the call has completed.
+func (m *MaestroRuntime) Barrier() {
+	reply := make(chan struct{})
+	select {
+	case <-m.stopped:
+		return
+	case m.barrier <- reply:
+		<-reply
+	}
+}
+
+// Stats returns a snapshot of the runtime counters.
+func (m *MaestroRuntime) Stats() Stats {
+	reply := make(chan Stats, 1)
+	select {
+	case <-m.stopped:
+		return m.final
+	case m.statsCh <- reply:
+		return <-reply
+	}
+}
+
+// Shutdown waits for all submitted tasks and stops the workers.
+func (m *MaestroRuntime) Shutdown() {
+	m.Barrier()
+	m.stopOnce.Do(func() {
+		m.final = m.Stats()
+		close(m.stopped)
+		close(m.readyCh)
+	})
+	m.workerWG.Wait()
+	m.maestroW.Wait()
+}
+
+// maestro owns all dependency state; it is the software Task Maestro.
+func (m *MaestroRuntime) maestro() {
+	defer m.maestroW.Done()
+	segs := make(map[Key]*segState)
+	var (
+		stats    Stats
+		inFlight int
+		barriers []chan struct{}
+	)
+	release := func(node *taskNode) {
+		if node.dc.Add(-1) == 0 {
+			m.readyCh <- node
+		}
+	}
+	for {
+		select {
+		case <-m.stopped:
+			return
+		case reply := <-m.statsCh:
+			reply <- stats
+		case reply := <-m.barrier:
+			if inFlight == 0 {
+				close(reply)
+			} else {
+				barriers = append(barriers, reply)
+			}
+		case node := <-m.submitCh:
+			stats.Submitted++
+			inFlight++
+			if inFlight > stats.MaxInFlight {
+				stats.MaxInFlight = inFlight
+			}
+			dc := int32(0)
+			for _, d := range node.deps {
+				seg := segs[d.Key]
+				wantsWrite := d.Mode != ModeIn
+				if seg == nil {
+					seg = &segState{}
+					segs[d.Key] = seg
+					if wantsWrite {
+						seg.isOut = true
+					} else {
+						seg.rdrs = 1
+					}
+					continue
+				}
+				if !wantsWrite {
+					if !seg.isOut && !seg.ww {
+						seg.rdrs++
+					} else {
+						seg.ko = append(seg.ko, segWaiter{node: node})
+						dc++
+					}
+					continue
+				}
+				seg.ko = append(seg.ko, segWaiter{node: node, wantsWrite: true})
+				dc++
+				if !seg.isOut {
+					seg.ww = true
+				}
+			}
+			node.dc.Store(dc)
+			if dc == 0 {
+				m.readyCh <- node
+			} else {
+				stats.Hazards++
+			}
+		case node := <-m.doneCh:
+			stats.Executed++
+			inFlight--
+			for _, d := range node.deps {
+				seg := segs[d.Key]
+				if seg == nil {
+					panic(fmt.Sprintf("starss: finished task %q references unknown key %v", node.task.Name, d.Key))
+				}
+				if d.Mode == ModeIn {
+					seg.rdrs--
+					if seg.rdrs > 0 {
+						continue
+					}
+					if !seg.ww {
+						delete(segs, d.Key)
+						continue
+					}
+					w := seg.ko[0]
+					seg.ko = seg.ko[1:]
+					seg.isOut = true
+					seg.ww = false
+					release(w.node)
+					continue
+				}
+				seg.isOut = false
+				if len(seg.ko) == 0 {
+					delete(segs, d.Key)
+					continue
+				}
+				if seg.ko[0].wantsWrite {
+					w := seg.ko[0]
+					seg.ko = seg.ko[1:]
+					seg.isOut = true
+					release(w.node)
+					continue
+				}
+				for len(seg.ko) > 0 && !seg.ko[0].wantsWrite {
+					w := seg.ko[0]
+					seg.ko = seg.ko[1:]
+					seg.rdrs++
+					release(w.node)
+				}
+				if len(seg.ko) > 0 {
+					seg.ww = true
+				}
+			}
+			<-m.window
+			if inFlight == 0 {
+				for _, b := range barriers {
+					close(b)
+				}
+				barriers = barriers[:0]
+			}
+		}
+	}
+}
+
+// worker mirrors Runtime.worker, reporting completion to the maestro.
+func (m *MaestroRuntime) worker() {
+	defer m.workerWG.Done()
+	depth := m.cfg.BufferingDepth
+	if depth <= 1 {
+		for node := range m.readyCh {
+			if node.task.Prefetch != nil {
+				node.task.Prefetch()
+			}
+			m.runBody(node)
+		}
+		return
+	}
+	local := make(chan *taskNode, depth-1)
+	var ctlWG sync.WaitGroup
+	ctlWG.Add(1)
+	go func() {
+		defer ctlWG.Done()
+		defer close(local)
+		for node := range m.readyCh {
+			if node.task.Prefetch != nil {
+				node.task.Prefetch()
+			}
+			local <- node
+		}
+	}()
+	for node := range local {
+		m.runBody(node)
+	}
+	ctlWG.Wait()
+}
+
+func (m *MaestroRuntime) runBody(node *taskNode) {
+	node.task.Run()
+	if node.task.WriteBack != nil {
+		node.task.WriteBack()
+	}
+	m.doneCh <- node
+}

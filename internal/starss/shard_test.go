@@ -1,0 +1,320 @@
+package starss
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nexuspp/internal/sim"
+)
+
+// Tests for the sharded dependency-resolution banks and the batch
+// submission API.
+
+func TestShardsRoundedToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {100, 128},
+	} {
+		rt := New(Config{Workers: 1, Shards: tc.in})
+		if got := len(rt.banks); got != tc.want {
+			t.Errorf("Shards %d rounded to %d banks, want %d", tc.in, got, tc.want)
+		}
+		rt.Shutdown()
+	}
+	rt := New(Config{Workers: 4})
+	if got := len(rt.banks); got != nextPow2(defaultShards(4)) {
+		t.Errorf("default shards = %d", got)
+	}
+	rt.Shutdown()
+}
+
+func TestSingleShardPreservesSemantics(t *testing.T) {
+	// Shards=1 is the single-resolver baseline; the full ordering
+	// semantics must hold there too.
+	rt := New(Config{Workers: 8, Shards: 1})
+	var order []int
+	var mu sync.Mutex
+	for i := 0; i < 50; i++ {
+		i := i
+		rt.MustSubmit(Task{
+			Deps: []Dep{InOut("chain")},
+			Run: func() {
+				mu.Lock()
+				order = append(order, i)
+				mu.Unlock()
+			},
+		})
+	}
+	rt.Shutdown()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("chain order broken at %d: %v", i, order[:i+1])
+		}
+	}
+}
+
+// TestMultiKeyTasksAcrossBanks stresses tasks whose keys hash to several
+// banks at once: the sorted bank-acquisition order must neither deadlock
+// nor break hazard exclusion. Two shards with many keys guarantees
+// cross-bank key sets.
+func TestMultiKeyTasksAcrossBanks(t *testing.T) {
+	for _, shards := range []int{1, 2, 8} {
+		rt := New(Config{Workers: 8, Shards: shards, Window: 128})
+		h := newHazardChecker()
+		rng := sim.NewRand(11)
+		for i := 0; i < 400; i++ {
+			var deps []Dep
+			used := map[int]bool{}
+			for k := 0; k <= 2+rng.Intn(3); k++ { // 3..5 keys per task
+				key := rng.Intn(16)
+				if used[key] {
+					continue
+				}
+				used[key] = true
+				deps = append(deps, Dep{Key: key, Mode: Mode(rng.Intn(3))})
+			}
+			norm, _ := normalizeDeps(deps)
+			rt.MustSubmit(Task{
+				Deps: deps,
+				Run: func() {
+					h.enter(norm)
+					defer h.exit(norm)
+					spin(100)
+				},
+			})
+		}
+		rt.Shutdown()
+		if len(h.bad) > 0 {
+			t.Fatalf("shards=%d: hazard violations: %v", shards, h.bad[:min(5, len(h.bad))])
+		}
+		if rt.Stats().Executed != 400 {
+			t.Fatalf("shards=%d: executed = %d", shards, rt.Stats().Executed)
+		}
+	}
+}
+
+// TestConcurrentSubmitters drives Submit from many goroutines on disjoint
+// key ranges — the workload sharding exists for — under the race detector.
+func TestConcurrentSubmitters(t *testing.T) {
+	rt := New(Config{Workers: 8, Window: 256})
+	var executed atomic.Int64
+	var wg sync.WaitGroup
+	const goroutines, perG = 8, 200
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				rt.MustSubmit(Task{
+					Deps: []Dep{InOut([2]int{g, i}), In([2]int{g, (i + 1) % perG})},
+					Run:  func() { executed.Add(1) },
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	rt.Shutdown()
+	if executed.Load() != goroutines*perG {
+		t.Fatalf("executed %d of %d", executed.Load(), goroutines*perG)
+	}
+	if st := rt.Stats(); st.Submitted != goroutines*perG || st.Executed != goroutines*perG {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSubmitAllOrdering(t *testing.T) {
+	// A batch must be admitted in slice order: an InOut chain inside one
+	// SubmitAll call executes sequentially in that order.
+	rt := New(Config{Workers: 8})
+	var order []int
+	var mu sync.Mutex
+	tasks := make([]Task, 64)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{
+			Deps: []Dep{InOut("chain"), In(i % 7)},
+			Run: func() {
+				mu.Lock()
+				order = append(order, i)
+				mu.Unlock()
+			},
+		}
+	}
+	if err := rt.SubmitAll(tasks); err != nil {
+		t.Fatal(err)
+	}
+	rt.Shutdown()
+	if len(order) != len(tasks) {
+		t.Fatalf("ran %d of %d", len(order), len(tasks))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("batch order broken at %d: %v", i, order[:i+1])
+		}
+	}
+}
+
+func TestSubmitAllLargerThanWindow(t *testing.T) {
+	// Batches larger than the window are chunked, not deadlocked.
+	rt := New(Config{Workers: 2, Window: 8})
+	var n atomic.Int64
+	tasks := make([]Task, 100)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{Deps: []Dep{Out(i)}, Run: func() { n.Add(1) }}
+	}
+	if err := rt.SubmitAll(tasks); err != nil {
+		t.Fatal(err)
+	}
+	rt.Shutdown()
+	if n.Load() != 100 {
+		t.Fatalf("executed %d of 100", n.Load())
+	}
+	if got := rt.Stats().MaxInFlight; got > 8 {
+		t.Fatalf("in-flight %d exceeded window 8", got)
+	}
+}
+
+func TestSubmitAllValidation(t *testing.T) {
+	rt := New(Config{Workers: 1})
+	err := rt.SubmitAll([]Task{
+		{Run: func() {}},
+		{}, // no Run
+	})
+	if err == nil {
+		t.Fatal("batch with an invalid task accepted")
+	}
+	// Validation happens before admission: nothing ran.
+	rt.Barrier()
+	if st := rt.Stats(); st.Submitted != 0 {
+		t.Fatalf("invalid batch partially admitted: %+v", st)
+	}
+	if err := rt.SubmitAll(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	rt.Shutdown()
+	if err := rt.SubmitAll([]Task{{Run: func() {}}}); err != ErrStopped {
+		t.Fatalf("SubmitAll after Shutdown = %v, want ErrStopped", err)
+	}
+}
+
+func TestSubmitAllRAWAcrossBatches(t *testing.T) {
+	// Dependencies straddling two SubmitAll calls and plain Submits are
+	// still honoured.
+	rt := New(Config{Workers: 4})
+	data := make([]int, 8)
+	writers := make([]Task, len(data))
+	for i := range writers {
+		i := i
+		writers[i] = Task{Deps: []Dep{Out(i)}, Run: func() { data[i] = i + 1 }}
+	}
+	if err := rt.SubmitAll(writers); err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	deps := make([]Dep, len(data))
+	for i := range deps {
+		deps[i] = In(i)
+	}
+	rt.MustSubmit(Task{Deps: deps, Run: func() {
+		for _, v := range data {
+			sum += v
+		}
+	}})
+	rt.Shutdown()
+	want := 0
+	for i := range data {
+		want += i + 1
+	}
+	if sum != want {
+		t.Fatalf("sum = %d, want %d (RAW across batch broken)", sum, want)
+	}
+}
+
+func TestBankIndexStable(t *testing.T) {
+	rt := New(Config{Workers: 1, Shards: 16})
+	defer rt.Shutdown()
+	for _, k := range []Key{"a", 7, [2]int{1, 2}, 3.5} {
+		i, j := rt.bankIndex(k), rt.bankIndex(k)
+		if i != j {
+			t.Fatalf("bankIndex(%v) unstable: %d vs %d", k, i, j)
+		}
+		if i < 0 || i >= 16 {
+			t.Fatalf("bankIndex(%v) = %d out of range", k, i)
+		}
+	}
+}
+
+// TestMaestroBaselineSemantics keeps the retained single-maestro baseline
+// honest: it must execute the same chains with the same ordering and
+// counters as the sharded runtime it is benchmarked against.
+func TestMaestroBaselineSemantics(t *testing.T) {
+	var rt TaskRuntime = NewMaestro(Config{Workers: 4, Window: 32})
+	var order []int
+	var mu sync.Mutex
+	for i := 0; i < 40; i++ {
+		i := i
+		rt.MustSubmit(Task{
+			Deps: []Dep{InOut("chain"), In(i % 3)},
+			Run: func() {
+				mu.Lock()
+				order = append(order, i)
+				mu.Unlock()
+			},
+		})
+	}
+	rt.Barrier()
+	rt.Shutdown()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("maestro chain order broken at %d: %v", i, order[:i+1])
+		}
+	}
+	st := rt.Stats()
+	if st.Submitted != 40 || st.Executed != 40 {
+		t.Fatalf("maestro stats = %+v", st)
+	}
+	if err := rt.Submit(Task{Run: func() {}}); err != ErrStopped {
+		t.Fatalf("maestro Submit after Shutdown = %v, want ErrStopped", err)
+	}
+}
+
+// TestConcurrentSubmitAll pins the all-or-nothing window acquisition:
+// several batches whose combined demand exceeds the window must not each
+// grab a fraction of the tokens and deadlock.
+func TestConcurrentSubmitAll(t *testing.T) {
+	rt := New(Config{Workers: 2, Window: 16})
+	var executed atomic.Int64
+	var wg sync.WaitGroup
+	const batches, perBatch = 4, 64 // 4×64 tasks through a 16-slot window
+	for b := 0; b < batches; b++ {
+		b := b
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tasks := make([]Task, perBatch)
+			for i := range tasks {
+				tasks[i] = Task{
+					Deps: []Dep{InOut([2]int{b, i % 8})},
+					Run:  func() { executed.Add(1) },
+				}
+			}
+			if err := rt.SubmitAll(tasks); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("concurrent SubmitAll deadlocked on window tokens")
+	}
+	rt.Shutdown()
+	if executed.Load() != batches*perBatch {
+		t.Fatalf("executed %d of %d", executed.Load(), batches*perBatch)
+	}
+}

@@ -9,6 +9,14 @@
 // waits for all previous readers ("a writer waits" flag), and waiters queue
 // in per-segment kick-off lists released by the handle-finished path.
 //
+// Dependency state is sharded into lock-striped banks hashed by key — the
+// software analogue of the multiple Dependence Table banks of the Nexus++
+// hardware — so independent keys resolve concurrently on both the Submit
+// and the handle-finished path instead of funnelling through a single
+// resolver goroutine. Multi-key tasks acquire their banks in sorted index
+// order, which keeps the runtime deadlock-free. SubmitAll admits a batch of
+// tasks under one bank acquisition, amortising the locking.
+//
 // Per-worker double buffering is provided through the optional
 // Task.Prefetch hook: while a worker executes one task, its controller
 // goroutine prefetches the next task's inputs, mirroring the paper's Task
@@ -21,8 +29,11 @@ package starss
 import (
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Mode is a dependency direction.
@@ -99,6 +110,13 @@ type Config struct {
 	// the analogue of the Task Pool size; Submit blocks when it is full.
 	// 0 selects 1024.
 	Window int
+	// Shards is the number of dependency-table banks the key space is
+	// hashed across — the software analogue of the Nexus++ Dependence
+	// Table banks. Tasks on keys in different banks resolve concurrently;
+	// 1 reproduces the old single-resolver serialization. Values are
+	// rounded up to a power of two; 0 selects a default scaled to
+	// Workers.
+	Shards int
 	// RecordGraph keeps the discovered task graph (names and dependency
 	// edges) for Graph/ExportDOT. Memory grows with the task count.
 	RecordGraph bool
@@ -114,29 +132,63 @@ type Stats struct {
 	Hazards uint64
 }
 
+// bank is one lock-striped slice of the dependence table. The pad brings
+// the struct to 64 bytes so adjacent hot bank locks sit on separate cache
+// lines.
+type bank struct {
+	mu   sync.Mutex
+	segs map[Key]*segState
+	_    [48]byte
+}
+
 // Runtime schedules and executes tasks.
 type Runtime struct {
-	cfg        Config
-	submitCh   chan *taskNode
-	doneCh     chan *taskNode
-	barrier    chan chan struct{}
-	statsCh    chan chan Stats
-	waitCh     chan waitReq
-	graphCh    chan chan graphSnapshot
-	window     chan struct{}
-	readyCh    chan *taskNode
-	stopOnce   sync.Once
-	stopped    chan struct{}
-	final      Stats         // snapshot taken by Shutdown, readable afterwards
-	finalGraph graphSnapshot // graph snapshot taken by Shutdown
-	workerWG   sync.WaitGroup
-	maestroW   sync.WaitGroup
+	cfg      Config
+	banks    []bank
+	mask     uint64
+	seed     maphash.Seed
+	window   chan struct{}
+	readyCh  chan *taskNode
+	stopOnce sync.Once
+	stopped  chan struct{}
+	workerWG sync.WaitGroup
+
+	// subMu fences admission against Shutdown: submitters hold it shared
+	// while they admit and resolve; Shutdown takes it exclusively to close
+	// stopped, so no submitter can be left mid-admission with a send to
+	// readyCh pending when the channel is closed.
+	subMu sync.RWMutex
+	// batchMu serialises SubmitAll's multi-token window acquisition: a
+	// chunk takes its tokens one at a time, and two batches each holding a
+	// fraction of the window would deadlock without it. Plain Submit takes
+	// a single token and needs no serialisation.
+	batchMu sync.Mutex
+
+	submitted   atomic.Uint64
+	executed    atomic.Uint64
+	hazards     atomic.Uint64
+	inFlight    atomic.Int64
+	maxInFlight atomic.Int64
+
+	// coord serialises barrier and WaitOn bookkeeping; it is only taken on
+	// the finish path when a waiter is registered or in-flight hits zero,
+	// so it stays off the steady-state hot path.
+	coord       sync.Mutex
+	barriers    []chan struct{}
+	waiters     []waitReq
+	waiterCount atomic.Int32
+
+	recorder *graphRecorder
 }
 
 type taskNode struct {
 	task Task
 	deps []Dep // normalised
-	dc   int
+	// bankOf[i] is the bank index of deps[i]; banks is the sorted,
+	// deduplicated set — the per-task acquisition order.
+	bankOf []int
+	banks  []int
+	dc     atomic.Int32
 }
 
 type segState struct {
@@ -154,6 +206,28 @@ type segWaiter struct {
 // ErrStopped is returned by Submit after Shutdown.
 var ErrStopped = errors.New("starss: runtime is shut down")
 
+// defaultShards picks a bank count that gives low collision probability at
+// full worker concurrency.
+func defaultShards(workers int) int {
+	n := 4 * workers
+	if n < 8 {
+		n = 8
+	}
+	if n > 512 {
+		n = 512
+	}
+	return n
+}
+
+// nextPow2 rounds n up to a power of two.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 // New starts a runtime with the given configuration.
 func New(cfg Config) *Runtime {
 	if cfg.Workers <= 0 {
@@ -165,20 +239,25 @@ func New(cfg Config) *Runtime {
 	if cfg.Window <= 0 {
 		cfg.Window = 1024
 	}
-	rt := &Runtime{
-		cfg:      cfg,
-		submitCh: make(chan *taskNode),
-		doneCh:   make(chan *taskNode, cfg.Workers),
-		barrier:  make(chan chan struct{}),
-		statsCh:  make(chan chan Stats),
-		waitCh:   make(chan waitReq),
-		graphCh:  make(chan chan graphSnapshot),
-		window:   make(chan struct{}, cfg.Window),
-		readyCh:  make(chan *taskNode, cfg.Window),
-		stopped:  make(chan struct{}),
+	if cfg.Shards <= 0 {
+		cfg.Shards = defaultShards(cfg.Workers)
 	}
-	rt.maestroW.Add(1)
-	go rt.maestro()
+	cfg.Shards = nextPow2(cfg.Shards)
+	rt := &Runtime{
+		cfg:     cfg,
+		banks:   make([]bank, cfg.Shards),
+		mask:    uint64(cfg.Shards - 1),
+		seed:    maphash.MakeSeed(),
+		window:  make(chan struct{}, cfg.Window),
+		readyCh: make(chan *taskNode, cfg.Window),
+		stopped: make(chan struct{}),
+	}
+	for i := range rt.banks {
+		rt.banks[i].segs = make(map[Key]*segState)
+	}
+	if cfg.RecordGraph {
+		rt.recorder = newGraphRecorder()
+	}
 	rt.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go rt.worker()
@@ -186,13 +265,58 @@ func New(cfg Config) *Runtime {
 	return rt
 }
 
+// bankIndex hashes a key to its bank. Like map insertion, it panics for
+// keys that are not comparable.
+func (rt *Runtime) bankIndex(k Key) int {
+	if rt.mask == 0 {
+		return 0
+	}
+	return int(maphash.Comparable(rt.seed, k) & rt.mask)
+}
+
+// prepare computes the node's bank mapping and sorted acquisition order.
+func (rt *Runtime) prepare(node *taskNode) {
+	if len(node.deps) == 0 {
+		return
+	}
+	node.bankOf = make([]int, len(node.deps))
+	for i, d := range node.deps {
+		node.bankOf[i] = rt.bankIndex(d.Key)
+	}
+	node.banks = append([]int(nil), node.bankOf...)
+	sort.Ints(node.banks)
+	uniq := node.banks[:1]
+	for _, b := range node.banks[1:] {
+		if b != uniq[len(uniq)-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	node.banks = uniq
+}
+
+// lockBanks acquires the given sorted bank set; the global ascending order
+// makes multi-bank acquisition deadlock-free.
+func (rt *Runtime) lockBanks(banks []int) {
+	for _, i := range banks {
+		rt.banks[i].mu.Lock()
+	}
+}
+
+func (rt *Runtime) unlockBanks(banks []int) {
+	for _, i := range banks {
+		rt.banks[i].mu.Unlock()
+	}
+}
+
 // Submit enqueues a task. It blocks while the in-flight window is full and
 // returns an error for invalid tasks or after Shutdown.
+//
+// Dependency resolution happens synchronously in the caller: tasks
+// submitted from one goroutine acquire segments in exact program order
+// (the StarSs sequential-semantics contract). Tasks submitted concurrently
+// from several goroutines are ordered by bank acquisition.
 func (rt *Runtime) Submit(t Task) error {
-	if t.Run == nil {
-		return errors.New("starss: task has no Run function")
-	}
-	deps, err := normalizeDeps(t.Deps)
+	node, err := makeNode(t)
 	if err != nil {
 		return err
 	}
@@ -201,13 +325,269 @@ func (rt *Runtime) Submit(t Task) error {
 		return ErrStopped
 	case rt.window <- struct{}{}:
 	}
-	node := &taskNode{task: t, deps: deps}
+	rt.subMu.RLock()
 	select {
 	case <-rt.stopped:
+		rt.subMu.RUnlock()
 		<-rt.window
 		return ErrStopped
-	case rt.submitCh <- node:
-		return nil
+	default:
+	}
+	rt.prepare(node)
+	rt.admit(node)
+	rt.resolveNew(node)
+	rt.subMu.RUnlock()
+	return nil
+}
+
+// SubmitAll enqueues a batch of tasks in order, amortising bank locking:
+// each chunk of the batch is admitted under a single acquisition of the
+// banks it touches. It blocks while the window is full and returns the
+// first validation error (before admitting anything) or ErrStopped; on
+// ErrStopped, earlier chunks of the batch may already have been admitted.
+func (rt *Runtime) SubmitAll(tasks []Task) error {
+	nodes := make([]*taskNode, len(tasks))
+	for i, t := range tasks {
+		node, err := makeNode(t)
+		if err != nil {
+			return fmt.Errorf("task %d: %w", i, err)
+		}
+		nodes[i] = node
+	}
+	// Chunk so one batch can never hold more window tokens than exist, and
+	// so bank locks are not held for unboundedly long.
+	chunkMax := rt.cfg.Window
+	if chunkMax > 256 {
+		chunkMax = 256
+	}
+	for len(nodes) > 0 {
+		n := len(nodes)
+		if n > chunkMax {
+			n = chunkMax
+		}
+		if err := rt.submitChunk(nodes[:n]); err != nil {
+			return err
+		}
+		nodes = nodes[n:]
+	}
+	return nil
+}
+
+func (rt *Runtime) submitChunk(nodes []*taskNode) error {
+	// Chunks take their window tokens one at a time; batchMu makes that
+	// acquisition all-or-nothing across batches, so two concurrent
+	// SubmitAll calls cannot each hold a fraction of the window and wait
+	// forever for the rest.
+	rt.batchMu.Lock()
+	for taken := 0; taken < len(nodes); taken++ {
+		select {
+		case <-rt.stopped:
+			for ; taken > 0; taken-- {
+				<-rt.window
+			}
+			rt.batchMu.Unlock()
+			return ErrStopped
+		case rt.window <- struct{}{}:
+		}
+	}
+	rt.batchMu.Unlock()
+	rt.subMu.RLock()
+	select {
+	case <-rt.stopped:
+		rt.subMu.RUnlock()
+		for range nodes {
+			<-rt.window
+		}
+		return ErrStopped
+	default:
+	}
+	var banks []int
+	for _, node := range nodes {
+		rt.prepare(node)
+		banks = append(banks, node.banks...)
+	}
+	sort.Ints(banks)
+	uniq := banks[:0]
+	for _, b := range banks {
+		if len(uniq) == 0 || b != uniq[len(uniq)-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	for _, node := range nodes {
+		rt.admit(node)
+	}
+	ready := make([]*taskNode, 0, len(nodes))
+	rt.lockBanks(uniq)
+	for _, node := range nodes {
+		if rt.checkDeps(node) == 0 {
+			ready = append(ready, node)
+		} else {
+			rt.hazards.Add(1)
+		}
+	}
+	rt.unlockBanks(uniq)
+	for _, node := range ready {
+		rt.readyCh <- node
+	}
+	rt.subMu.RUnlock()
+	return nil
+}
+
+// makeNode validates and normalises one task.
+func makeNode(t Task) (*taskNode, error) {
+	if t.Run == nil {
+		return nil, errors.New("starss: task has no Run function")
+	}
+	deps, err := normalizeDeps(t.Deps)
+	if err != nil {
+		return nil, err
+	}
+	return &taskNode{task: t, deps: deps}, nil
+}
+
+// admit updates the submission counters and graph recorder. The caller
+// must already hold a window token.
+func (rt *Runtime) admit(node *taskNode) {
+	rt.submitted.Add(1)
+	n := rt.inFlight.Add(1)
+	for {
+		max := rt.maxInFlight.Load()
+		if n <= max || rt.maxInFlight.CompareAndSwap(max, n) {
+			break
+		}
+	}
+	if rt.recorder != nil {
+		rt.recorder.record(node)
+	}
+}
+
+// resolveNew runs Check Deps (Listing 2) for one task against its banks.
+func (rt *Runtime) resolveNew(node *taskNode) {
+	rt.lockBanks(node.banks)
+	dc := rt.checkDeps(node)
+	rt.unlockBanks(node.banks)
+	if dc == 0 {
+		rt.readyCh <- node
+	} else {
+		rt.hazards.Add(1)
+	}
+}
+
+// checkDeps acquires or queues on every segment of the node and returns the
+// resulting dependence count. The caller holds all of node.banks.
+func (rt *Runtime) checkDeps(node *taskNode) int {
+	dc := 0
+	for i, d := range node.deps {
+		b := &rt.banks[node.bankOf[i]]
+		seg := b.segs[d.Key]
+		wantsWrite := d.Mode != ModeIn
+		if seg == nil {
+			seg = &segState{}
+			b.segs[d.Key] = seg
+			if wantsWrite {
+				seg.isOut = true
+			} else {
+				seg.rdrs = 1
+			}
+			continue
+		}
+		if !wantsWrite {
+			if !seg.isOut && !seg.ww {
+				seg.rdrs++
+			} else {
+				seg.ko = append(seg.ko, segWaiter{node: node})
+				dc++
+			}
+			continue
+		}
+		seg.ko = append(seg.ko, segWaiter{node: node, wantsWrite: true})
+		dc++
+		if !seg.isOut {
+			seg.ww = true
+		}
+	}
+	// The count must be published before the banks are released: a
+	// finisher may pop this node from a kick-off list the moment the
+	// bank unlocks.
+	node.dc.Store(int32(dc))
+	return dc
+}
+
+// resolveFinished runs the Handle Finished path (SSIII-B) for one task:
+// releases its segments, pops kick-off lists and dispatches any task whose
+// dependence count reaches zero.
+func (rt *Runtime) resolveFinished(node *taskNode) {
+	var released []*taskNode
+	release := func(n *taskNode) {
+		if n.dc.Add(-1) == 0 {
+			released = append(released, n)
+		}
+	}
+	rt.lockBanks(node.banks)
+	for i, d := range node.deps {
+		b := &rt.banks[node.bankOf[i]]
+		seg := b.segs[d.Key]
+		if seg == nil {
+			panic(fmt.Sprintf("starss: finished task %q references unknown key %v", node.task.Name, d.Key))
+		}
+		if d.Mode == ModeIn {
+			seg.rdrs--
+			if seg.rdrs > 0 {
+				continue
+			}
+			if !seg.ww {
+				delete(b.segs, d.Key)
+				continue
+			}
+			w := seg.ko[0]
+			seg.ko = seg.ko[1:]
+			seg.isOut = true
+			seg.ww = false
+			release(w.node)
+			continue
+		}
+		seg.isOut = false
+		if len(seg.ko) == 0 {
+			delete(b.segs, d.Key)
+			continue
+		}
+		if seg.ko[0].wantsWrite {
+			w := seg.ko[0]
+			seg.ko = seg.ko[1:]
+			seg.isOut = true
+			release(w.node)
+			continue
+		}
+		for len(seg.ko) > 0 && !seg.ko[0].wantsWrite {
+			w := seg.ko[0]
+			seg.ko = seg.ko[1:]
+			seg.rdrs++
+			release(w.node)
+		}
+		if len(seg.ko) > 0 {
+			seg.ww = true
+		}
+	}
+	rt.unlockBanks(node.banks)
+	for _, n := range released {
+		rt.readyCh <- n
+	}
+	rt.executed.Add(1)
+	<-rt.window
+	n := rt.inFlight.Add(-1)
+	if n == 0 || rt.waiterCount.Load() > 0 {
+		rt.coord.Lock()
+		// Re-read under coord: the pre-lock n may be stale — a task
+		// submitted (and a barrier registered for it) after the decrement
+		// must not be signalled past.
+		if rt.inFlight.Load() == 0 {
+			for _, b := range rt.barriers {
+				close(b)
+			}
+			rt.barriers = rt.barriers[:0]
+		}
+		rt.checkWaitersLocked()
+		rt.coord.Unlock()
 	}
 }
 
@@ -221,24 +601,71 @@ func (rt *Runtime) MustSubmit(t Task) {
 // Barrier blocks until every task submitted before the call has completed —
 // the css barrier pragma.
 func (rt *Runtime) Barrier() {
-	reply := make(chan struct{})
 	select {
 	case <-rt.stopped:
 		return
-	case rt.barrier <- reply:
-		<-reply
+	default:
 	}
+	rt.waitIdle()
+}
+
+// waitIdle blocks until the in-flight count reaches zero. Unlike Barrier
+// it works after stopped is closed, which Shutdown needs to drain
+// last-moment admissions before closing readyCh.
+func (rt *Runtime) waitIdle() {
+	rt.coord.Lock()
+	if rt.inFlight.Load() == 0 {
+		rt.coord.Unlock()
+		return
+	}
+	reply := make(chan struct{})
+	rt.barriers = append(rt.barriers, reply)
+	rt.coord.Unlock()
+	<-reply
+}
+
+// quiet reports whether none of the keys has a live segment. Keys are
+// inspected one bank at a time; a key observed quiet has completed every
+// access submitted before the observation.
+func (rt *Runtime) quiet(keys []Key) bool {
+	for _, k := range keys {
+		b := &rt.banks[rt.bankIndex(k)]
+		b.mu.Lock()
+		_, busy := b.segs[k]
+		b.mu.Unlock()
+		if busy {
+			return false
+		}
+	}
+	return true
+}
+
+// checkWaitersLocked wakes WaitOn callers whose keys have gone quiet. The
+// caller holds coord.
+func (rt *Runtime) checkWaitersLocked() {
+	if len(rt.waiters) == 0 {
+		return
+	}
+	kept := rt.waiters[:0]
+	for _, w := range rt.waiters {
+		if rt.quiet(w.keys) {
+			close(w.reply)
+			rt.waiterCount.Add(-1)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	rt.waiters = kept
 }
 
 // Stats returns a snapshot of the runtime counters. After Shutdown it
 // returns the final counters.
 func (rt *Runtime) Stats() Stats {
-	reply := make(chan Stats, 1)
-	select {
-	case <-rt.stopped:
-		return rt.final
-	case rt.statsCh <- reply:
-		return <-reply
+	return Stats{
+		Submitted:   rt.submitted.Load(),
+		Executed:    rt.executed.Load(),
+		MaxInFlight: int(rt.maxInFlight.Load()),
+		Hazards:     rt.hazards.Load(),
 	}
 }
 
@@ -247,14 +674,18 @@ func (rt *Runtime) Stats() Stats {
 func (rt *Runtime) Shutdown() {
 	rt.Barrier()
 	rt.stopOnce.Do(func() {
-		rt.final = rt.Stats()
-		names, edges := rt.Graph()
-		rt.finalGraph = graphSnapshot{names: names, edges: edges}
+		// Closing stopped under the exclusive fence guarantees no
+		// submitter is mid-admission; any Submit that raced past Barrier
+		// has either fully admitted (drained by waitIdle below) or will
+		// observe stopped under its shared lock and back out. Only then is
+		// readyCh safe to close.
+		rt.subMu.Lock()
 		close(rt.stopped)
+		rt.subMu.Unlock()
+		rt.waitIdle()
 		close(rt.readyCh)
 	})
 	rt.workerWG.Wait()
-	rt.maestroW.Wait()
 }
 
 // normalizeDeps merges duplicate keys: any read + any write on the same key
@@ -281,172 +712,6 @@ func normalizeDeps(deps []Dep) ([]Dep, error) {
 		}
 	}
 	return out, nil
-}
-
-// maestro owns all dependency state; it is the software Task Maestro.
-func (rt *Runtime) maestro() {
-	defer rt.maestroW.Done()
-	segs := make(map[Key]*segState)
-	var (
-		stats    Stats
-		inFlight int
-		barriers []chan struct{}
-		waiters  []waitReq
-		recorder *graphRecorder
-	)
-	if rt.cfg.RecordGraph {
-		recorder = newGraphRecorder()
-	}
-	quiet := func(keys []Key) bool {
-		for _, k := range keys {
-			if _, busy := segs[k]; busy {
-				return false
-			}
-		}
-		return true
-	}
-	checkWaiters := func() {
-		kept := waiters[:0]
-		for _, w := range waiters {
-			if quiet(w.keys) {
-				close(w.reply)
-			} else {
-				kept = append(kept, w)
-			}
-		}
-		waiters = kept
-	}
-	release := func(node *taskNode) {
-		node.dc--
-		if node.dc == 0 {
-			rt.readyCh <- node
-		}
-	}
-	for {
-		select {
-		case <-rt.stopped:
-			return
-		case reply := <-rt.statsCh:
-			reply <- stats
-		case reply := <-rt.graphCh:
-			var snap graphSnapshot
-			if recorder != nil {
-				snap.names = append([]string(nil), recorder.names...)
-				snap.edges = append([]GraphEdge(nil), recorder.edges...)
-			}
-			reply <- snap
-		case w := <-rt.waitCh:
-			if quiet(w.keys) {
-				close(w.reply)
-			} else {
-				waiters = append(waiters, w)
-			}
-		case reply := <-rt.barrier:
-			if inFlight == 0 {
-				close(reply)
-			} else {
-				barriers = append(barriers, reply)
-			}
-		case node := <-rt.submitCh:
-			stats.Submitted++
-			inFlight++
-			if inFlight > stats.MaxInFlight {
-				stats.MaxInFlight = inFlight
-			}
-			if recorder != nil {
-				recorder.record(node)
-			}
-			for _, d := range node.deps {
-				seg := segs[d.Key]
-				wantsWrite := d.Mode != ModeIn
-				if seg == nil {
-					seg = &segState{}
-					segs[d.Key] = seg
-					if wantsWrite {
-						seg.isOut = true
-					} else {
-						seg.rdrs = 1
-					}
-					continue
-				}
-				if !wantsWrite {
-					if !seg.isOut && !seg.ww {
-						seg.rdrs++
-					} else {
-						seg.ko = append(seg.ko, segWaiter{node: node})
-						node.dc++
-					}
-					continue
-				}
-				seg.ko = append(seg.ko, segWaiter{node: node, wantsWrite: true})
-				node.dc++
-				if !seg.isOut {
-					seg.ww = true
-				}
-			}
-			if node.dc == 0 {
-				rt.readyCh <- node
-			} else {
-				stats.Hazards++
-			}
-		case node := <-rt.doneCh:
-			stats.Executed++
-			inFlight--
-			for _, d := range node.deps {
-				seg := segs[d.Key]
-				if seg == nil {
-					panic(fmt.Sprintf("starss: finished task %q references unknown key %v", node.task.Name, d.Key))
-				}
-				if d.Mode == ModeIn {
-					seg.rdrs--
-					if seg.rdrs > 0 {
-						continue
-					}
-					if !seg.ww {
-						delete(segs, d.Key)
-						continue
-					}
-					w := seg.ko[0]
-					seg.ko = seg.ko[1:]
-					seg.isOut = true
-					seg.ww = false
-					release(w.node)
-					continue
-				}
-				seg.isOut = false
-				if len(seg.ko) == 0 {
-					delete(segs, d.Key)
-					continue
-				}
-				if seg.ko[0].wantsWrite {
-					w := seg.ko[0]
-					seg.ko = seg.ko[1:]
-					seg.isOut = true
-					release(w.node)
-					continue
-				}
-				for len(seg.ko) > 0 && !seg.ko[0].wantsWrite {
-					w := seg.ko[0]
-					seg.ko = seg.ko[1:]
-					seg.rdrs++
-					release(w.node)
-				}
-				if len(seg.ko) > 0 {
-					seg.ww = true
-				}
-			}
-			<-rt.window
-			if len(waiters) > 0 {
-				checkWaiters()
-			}
-			if inFlight == 0 {
-				for _, b := range barriers {
-					close(b)
-				}
-				barriers = barriers[:0]
-			}
-		}
-	}
 }
 
 // worker is one worker core plus its Task Controller: a small pipeline that
@@ -497,5 +762,5 @@ func (rt *Runtime) runBody(node *taskNode) {
 	if node.task.WriteBack != nil {
 		node.task.WriteBack()
 	}
-	rt.doneCh <- node
+	rt.resolveFinished(node)
 }

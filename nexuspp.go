@@ -63,10 +63,15 @@ func Oracle(src Source) *depgraph.Graph { return depgraph.Build(src) }
 // --- Executing runtime ----------------------------------------------------
 
 // Runtime is a real StarSs-style task-dataflow runtime for Go closures,
-// scheduled by the Nexus++ dependency-resolution algorithm.
+// scheduled by the Nexus++ dependency-resolution algorithm. Its dependency
+// table is sharded into lock-striped banks (the software analogue of the
+// Nexus++ Dependence Table banks) so independent keys resolve concurrently;
+// SubmitAll admits a batch of tasks under one bank acquisition.
 type Runtime = starss.Runtime
 
-// RuntimeConfig parameterises a Runtime.
+// RuntimeConfig parameterises a Runtime. The Shards field sets the number
+// of dependency-table banks: 1 reproduces the single-resolver baseline, 0
+// selects a default scaled to Workers.
 type RuntimeConfig = starss.Config
 
 // Task is a unit of executable work with declared dependencies.
