@@ -7,6 +7,7 @@ package nexuspp_test
 // complete tables with every operating point.
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -234,17 +235,20 @@ func BenchmarkDepTableProcessNew(b *testing.B) {
 
 func BenchmarkRuntimeThroughput(b *testing.B) {
 	rt := starss.New(starss.Config{Workers: 4, Window: 256})
-	defer rt.Shutdown()
+	defer rt.Close()
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := rt.Submit(starss.Task{
+		if _, err := rt.Submit(ctx, starss.Task{
 			Deps: []starss.Dep{starss.InOut(i % 64)},
 			Run:  func() {},
 		}); err != nil {
 			b.Fatal(err)
 		}
 	}
-	rt.Barrier()
+	if err := rt.Wait(ctx); err != nil {
+		b.Fatal(err)
+	}
 }
 
 // BenchmarkShardScalability is the contended-vs-independent-keys
@@ -278,6 +282,7 @@ func BenchmarkShardScalability(b *testing.B) {
 			tc := tc
 			b.Run("independent_w"+itoa(workers)+"_"+tc.name, func(b *testing.B) {
 				rt := tc.mk(workers)
+				ctx := context.Background()
 				var gid atomic.Int64
 				b.ResetTimer()
 				b.RunParallel(func(pb *testing.PB) {
@@ -285,7 +290,7 @@ func BenchmarkShardScalability(b *testing.B) {
 					i := int64(0)
 					for pb.Next() {
 						i++
-						if err := rt.Submit(starss.Task{
+						if _, err := rt.Submit(ctx, starss.Task{
 							Deps: []starss.Dep{starss.InOut([2]int64{g, i % 512})},
 							Run:  func() {},
 						}); err != nil {
@@ -293,17 +298,22 @@ func BenchmarkShardScalability(b *testing.B) {
 						}
 					}
 				})
-				rt.Barrier()
+				if err := rt.Wait(ctx); err != nil {
+					b.Fatal(err)
+				}
 				b.StopTimer()
 				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
-				rt.Shutdown()
+				if err := rt.Close(); err != nil {
+					b.Fatal(err)
+				}
 			})
 			b.Run("contended_w"+itoa(workers)+"_"+tc.name, func(b *testing.B) {
 				rt := tc.mk(workers)
+				ctx := context.Background()
 				b.ResetTimer()
 				b.RunParallel(func(pb *testing.PB) {
 					for pb.Next() {
-						if err := rt.Submit(starss.Task{
+						if _, err := rt.Submit(ctx, starss.Task{
 							Deps: []starss.Dep{starss.InOut("hot")},
 							Run:  func() {},
 						}); err != nil {
@@ -311,10 +321,14 @@ func BenchmarkShardScalability(b *testing.B) {
 						}
 					}
 				})
-				rt.Barrier()
+				if err := rt.Wait(ctx); err != nil {
+					b.Fatal(err)
+				}
 				b.StopTimer()
 				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
-				rt.Shutdown()
+				if err := rt.Close(); err != nil {
+					b.Fatal(err)
+				}
 			})
 		}
 	}
@@ -336,28 +350,34 @@ func BenchmarkSubmitAll(b *testing.B) {
 	}
 	b.Run("loop_submit", func(b *testing.B) {
 		rt := starss.New(starss.Config{Workers: 4, Window: 1024})
-		defer rt.Shutdown()
+		defer rt.Close()
+		ctx := context.Background()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for _, t := range mkTasks(i) {
-				if err := rt.Submit(t); err != nil {
+				if _, err := rt.Submit(ctx, t); err != nil {
 					b.Fatal(err)
 				}
 			}
 		}
-		rt.Barrier()
+		if err := rt.Wait(ctx); err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "tasks/s")
 	})
 	b.Run("submit_all", func(b *testing.B) {
 		rt := starss.New(starss.Config{Workers: 4, Window: 1024})
-		defer rt.Shutdown()
+		defer rt.Close()
+		ctx := context.Background()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if err := rt.SubmitAll(mkTasks(i)); err != nil {
+			if _, err := rt.SubmitAll(ctx, mkTasks(i)); err != nil {
 				b.Fatal(err)
 			}
 		}
-		rt.Barrier()
+		if err := rt.Wait(ctx); err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "tasks/s")
 	})
 }
@@ -381,7 +401,9 @@ func BenchmarkRuntimeGaussian64(b *testing.B) {
 				})
 			}
 		}
-		rt.Shutdown()
+		if err := rt.Close(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

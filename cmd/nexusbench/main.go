@@ -10,7 +10,10 @@
 //
 // The shards experiment exercises the executing runtime (internal/starss)
 // rather than the simulator: it contrasts single-bank and sharded
-// dependency resolution on independent-keys and contended workloads.
+// dependency resolution on independent-keys and contended workloads,
+// driving the sharded runtime and the retained single-maestro baseline
+// through the identical typed-handle API; its report includes the
+// runtime's Failed/Skipped poisoning counters as a health check.
 //
 // Flags:
 //

@@ -21,17 +21,25 @@
 //		Workers: 8,
 //		Shards:  64, // dependency-table banks; 0 = default, 1 = single bank
 //	})
-//	rt.MustSubmit(nexuspp.Task{
+//	producer, _ := rt.Submit(ctx, nexuspp.Task{
 //		Deps: []nexuspp.Dep{nexuspp.Out("block")},
-//		Run:  func() { produce() },
+//		Do:   func(ctx context.Context) error { return produce(ctx) },
 //	})
-//	rt.MustSubmit(nexuspp.Task{
+//	consumer, _ := rt.Submit(ctx, nexuspp.Task{
 //		Deps: []nexuspp.Dep{nexuspp.In("block")},
-//		Run:  func() { consume() },
+//		Do:   func(ctx context.Context) error { return consume(ctx) },
 //	})
-//	rt.Shutdown()
+//	<-consumer.Done()          // per-task completion, the paper's task IDs
+//	err := consumer.Err()      // wraps ErrDependencyFailed if producer failed
+//	err = rt.Wait(ctx)         // barrier; returns the first root-cause failure
+//	err = rt.Close()           // drain, stop, report the first failure
+//	_ = producer
 //
-// Batches of tasks can be admitted under one bank acquisition with
-// rt.SubmitAll([]nexuspp.Task{...}), which amortises locking on
-// high-frequency submission paths.
+// Every submission returns a *Handle — the software analogue of the task
+// IDs the Nexus++ hardware assigns and tracks. Task bodies take a context
+// and may fail; a failed, panicking or cancelled task poisons its
+// transitive dependents, which are skipped (never run) while the
+// dependence table drains normally. Batches of tasks can be admitted under
+// one bank acquisition with rt.SubmitAll(ctx, []nexuspp.Task{...}), which
+// amortises locking on high-frequency submission paths.
 package nexuspp

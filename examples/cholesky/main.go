@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -185,10 +186,16 @@ func main() {
 			}
 		}
 	}
-	rt.Barrier()
+	if err := rt.Wait(context.Background()); err != nil {
+		fmt.Println("factorisation failed:", err)
+		os.Exit(1)
+	}
 	elapsed := time.Since(start)
 	stats := rt.Stats()
-	rt.Shutdown()
+	if err := rt.Close(); err != nil {
+		fmt.Println("runtime close:", err)
+		os.Exit(1)
+	}
 
 	// Verify A = L * L^T elementwise (lower triangle).
 	l := func(r, c int) float64 {

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -95,7 +96,10 @@ func main() {
 			})
 		}
 	}
-	rt.Barrier()
+	if err := rt.Wait(context.Background()); err != nil {
+		fmt.Println("elimination failed:", err)
+		os.Exit(1)
+	}
 	elim := time.Since(start)
 
 	// Back substitution (serial; O(n^2), negligible).
@@ -108,7 +112,10 @@ func main() {
 		x[i] = s / a[i][i]
 	}
 	stats := rt.Stats()
-	rt.Shutdown()
+	if err := rt.Close(); err != nil {
+		fmt.Println("runtime close:", err)
+		os.Exit(1)
+	}
 
 	maxErr := 0.0
 	for i := range x {

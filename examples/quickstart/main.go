@@ -1,4 +1,4 @@
-// Quickstart: the two faces of this repository in ~60 lines.
+// Quickstart: the two faces of this repository in one file.
 //
 //  1. Run real Go tasks under StarSs dataflow semantics: declare what each
 //     task reads and writes, submit in program order, and let the runtime
@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"nexuspp"
@@ -21,28 +23,52 @@ func main() {
 	// analogue of the Nexus++ Dependence Table banks); 0 picks a default
 	// scaled to Workers.
 	rt := nexuspp.NewRuntime(nexuspp.RuntimeConfig{Workers: 4, Shards: 16})
+	ctx := context.Background()
 
 	// A tiny dataflow: two independent producers, one consumer, exactly
-	// like annotating three function calls with StarSs pragmas.
+	// like annotating three function calls with StarSs pragmas. Every
+	// submission returns a typed handle — the software analogue of the
+	// task IDs the Nexus++ hardware assigns and tracks.
 	var left, right, total int
 	rt.MustSubmit(nexuspp.Task{
 		Name: "produce-left",
 		Deps: []nexuspp.Dep{nexuspp.Out("left")},
-		Run:  func() { left = 21 },
+		Do:   func(context.Context) error { left = 21; return nil },
 	})
 	rt.MustSubmit(nexuspp.Task{
 		Name: "produce-right",
 		Deps: []nexuspp.Dep{nexuspp.Out("right")},
-		Run:  func() { right = 21 },
+		Run:  func() { right = 21 }, // the legacy Run form still works
 	})
-	rt.MustSubmit(nexuspp.Task{
+	combine := rt.MustSubmit(nexuspp.Task{
 		Name: "combine",
 		Deps: []nexuspp.Dep{nexuspp.In("left"), nexuspp.In("right"), nexuspp.Out("total")},
-		Run:  func() { total = left + right },
+		Do:   func(context.Context) error { total = left + right; return nil },
 	})
-	rt.Barrier() // the css barrier pragma
-	fmt.Printf("dataflow result: %d (runtime stats: %+v)\n", total, rt.Stats())
-	rt.Shutdown()
+	if err := rt.Wait(ctx); err != nil { // the css barrier pragma, with errors
+		panic(err)
+	}
+	fmt.Printf("dataflow result: %d (task %q id=%d, runtime stats: %v)\n",
+		total, combine.Name(), combine.Index(), rt.Stats())
+
+	// Failures propagate: a failed task poisons its transitive dependents,
+	// which are skipped and report ErrDependencyFailed with the root cause.
+	fail := rt.MustSubmit(nexuspp.Task{
+		Name: "flaky-producer",
+		Deps: []nexuspp.Dep{nexuspp.Out("cursed")},
+		Do:   func(context.Context) error { return errors.New("sector unreadable") },
+	})
+	dep := rt.MustSubmit(nexuspp.Task{
+		Name: "doomed-consumer",
+		Deps: []nexuspp.Dep{nexuspp.In("cursed")},
+		Do:   func(context.Context) error { return nil }, // never runs
+	})
+	<-dep.Done()
+	fmt.Printf("failure propagation: %q failed (%v); %q skipped=%v\n",
+		fail.Name(), fail.Err(), dep.Name(), errors.Is(dep.Err(), nexuspp.ErrDependencyFailed))
+	if err := rt.Close(); err != nil {
+		fmt.Println("runtime closed with first failure:", err)
+	}
 
 	// --- 2. Hardware simulation ------------------------------------------
 	// The paper's H.264 wavefront benchmark on 1 and 16 worker cores.

@@ -87,7 +87,9 @@ func run(rows, cols, workers int, prefetched *atomic.Int64) [][]block {
 			})
 		}
 	}
-	rt.Shutdown()
+	if err := rt.Close(); err != nil {
+		panic(err)
+	}
 	return grid
 }
 

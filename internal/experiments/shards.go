@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -47,32 +48,53 @@ func ShardScaling(opts Options) (*report.Table, error) {
 		fmt.Sprintf("Dependency-resolution scaling: single maestro vs sharded banks (%d empty tasks, tasks/s)", tasks),
 		"workers", "maestro indep", "1-bank indep", "sharded indep", "speedup vs maestro",
 		"maestro contended", "sharded contended")
+	var health starss.Stats
 	for _, w := range cores {
 		row := []interface{}{w}
 		var indep []float64
 		for _, r := range resolvers {
 			opts.logf("run shard-scaling            workers=%-3d resolver=%-8s independent", w, r.name)
-			thr := measureThroughput(r.mk(w), w, tasks, false)
+			thr, st := measureThroughput(r.mk(w), w, tasks, false)
+			accumulate(&health, st)
 			indep = append(indep, thr)
 			row = append(row, thr)
 		}
 		row = append(row, indep[2]/indep[0])
 		for _, r := range []int{0, 2} {
 			opts.logf("run shard-scaling            workers=%-3d resolver=%-8s contended", w, resolvers[r].name)
-			row = append(row, measureThroughput(resolvers[r].mk(w), w, tasks, true))
+			thr, st := measureThroughput(resolvers[r].mk(w), w, tasks, true)
+			accumulate(&health, st)
+			row = append(row, thr)
 		}
 		t.AddRow(row...)
 	}
 	t.AddNote("maestro: the original resolver goroutine, two synchronous channel rendezvous per task (the serialization the paper motivates against)")
 	t.AddNote("independent keys: each submitter owns a disjoint key range, the resolver itself is the bottleneck; sharded banks remove it")
 	t.AddNote("contended: every task InOuts one key, the dependency chain is serial and no resolver design can help")
+	t.AddNote("runtime health across all runs: %v (failed/skipped must be 0 on this workload)", health)
+	if health.Failed != 0 || health.Skipped != 0 {
+		return nil, fmt.Errorf("shard scaling: tasks failed or were skipped: %v", health)
+	}
 	return t, nil
 }
 
+// accumulate folds one run's counters into the experiment-wide health
+// totals, so poisoning (Failed/Skipped) is observable in the report.
+func accumulate(total *starss.Stats, st starss.Stats) {
+	total.Submitted += st.Submitted
+	total.Executed += st.Executed
+	total.Failed += st.Failed
+	total.Skipped += st.Skipped
+	total.Hazards += st.Hazards
+	if st.MaxInFlight > total.MaxInFlight {
+		total.MaxInFlight = st.MaxInFlight
+	}
+}
+
 // measureThroughput runs `tasks` empty tasks through rt with `submitters`
-// goroutines and returns tasks per second, Barrier included.
-func measureThroughput(rt starss.TaskRuntime, submitters, tasks int, contended bool) float64 {
-	defer rt.Shutdown()
+// goroutines and returns tasks per second (drain included) plus the final
+// runtime counters.
+func measureThroughput(rt starss.TaskRuntime, submitters, tasks int, contended bool) (float64, starss.Stats) {
 	per := tasks / submitters
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -93,6 +115,13 @@ func measureThroughput(rt starss.TaskRuntime, submitters, tasks int, contended b
 		}()
 	}
 	wg.Wait()
-	rt.Barrier()
-	return float64(per*submitters) / time.Since(start).Seconds()
+	if err := rt.Wait(context.Background()); err != nil {
+		panic(err)
+	}
+	thr := float64(per*submitters) / time.Since(start).Seconds()
+	st := rt.Stats()
+	if err := rt.Close(); err != nil {
+		panic(err)
+	}
+	return thr, st
 }

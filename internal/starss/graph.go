@@ -1,6 +1,7 @@
 package starss
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -11,15 +12,21 @@ import (
 
 // WaitOn blocks until every previously submitted task that accesses any of
 // the given keys has completed — StarSs's "wait on" pragma, a targeted
-// alternative to the full Barrier. Like Barrier, it observes every Submit
-// that returned before the call.
-func (rt *Runtime) WaitOn(keys ...Key) {
+// alternative to the full Wait. Like Wait, it observes every Submit that
+// returned before the call, returns ctx.Err() if the context is cancelled
+// first, and returns ErrStopped when the runtime is already closed instead
+// of silently succeeding. An empty key set is a no-op. A nil ctx means
+// context.Background().
+func (rt *Runtime) WaitOn(ctx context.Context, keys ...Key) error {
 	if len(keys) == 0 {
-		return
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	select {
 	case <-rt.stopped:
-		return
+		return ErrStopped
 	default:
 	}
 	// Register before probing: the finish path only takes coord when it
@@ -31,11 +38,28 @@ func (rt *Runtime) WaitOn(keys ...Key) {
 	if rt.quiet(keys) {
 		rt.waiterCount.Add(-1)
 		rt.coord.Unlock()
-		return
+		return nil
 	}
 	rt.waiters = append(rt.waiters, waitReq{keys: keys, reply: reply})
 	rt.coord.Unlock()
-	<-reply
+	select {
+	case <-reply:
+		return nil
+	case <-ctx.Done():
+	}
+	// Deregister, unless a finisher signalled us concurrently — then the
+	// wait in fact completed and the cancellation lost the race.
+	rt.coord.Lock()
+	for i := range rt.waiters {
+		if rt.waiters[i].reply == reply {
+			rt.waiters = append(rt.waiters[:i], rt.waiters[i+1:]...)
+			rt.waiterCount.Add(-1)
+			rt.coord.Unlock()
+			return ctx.Err()
+		}
+	}
+	rt.coord.Unlock()
+	return nil
 }
 
 type waitReq struct {
@@ -51,8 +75,8 @@ type GraphEdge struct {
 
 // Graph returns the recorded task graph: per-task names and the dependency
 // edges, in submission order. Recording must have been enabled with
-// Config.RecordGraph; otherwise both slices are empty. Call after Barrier
-// or Shutdown for a complete graph.
+// Config.RecordGraph; otherwise both slices are empty. Call after Wait or
+// Close for a complete graph.
 func (rt *Runtime) Graph() (names []string, edges []GraphEdge) {
 	if rt.recorder == nil {
 		return nil, nil

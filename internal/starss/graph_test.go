@@ -2,6 +2,7 @@ package starss
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -9,7 +10,7 @@ import (
 
 func TestWaitOnKeys(t *testing.T) {
 	rt := New(Config{Workers: 4})
-	defer rt.Shutdown()
+	defer rt.Close()
 	var aDone, bDone atomic.Bool
 	block := make(chan struct{})
 	rt.MustSubmit(Task{
@@ -21,7 +22,7 @@ func TestWaitOnKeys(t *testing.T) {
 		Run:  func() { <-block; bDone.Store(true) },
 	})
 	// Waiting on "a" must not wait for the blocked "b" task.
-	rt.WaitOn("a")
+	rt.WaitOn(context.Background(), "a")
 	if !aDone.Load() {
 		t.Fatal("WaitOn(a) returned before a's task finished")
 	}
@@ -29,7 +30,7 @@ func TestWaitOnKeys(t *testing.T) {
 		t.Fatal("b finished unexpectedly early")
 	}
 	close(block)
-	rt.WaitOn("b")
+	rt.WaitOn(context.Background(), "b")
 	if !bDone.Load() {
 		t.Fatal("WaitOn(b) returned before b's task finished")
 	}
@@ -37,15 +38,22 @@ func TestWaitOnKeys(t *testing.T) {
 
 func TestWaitOnUnusedKeyReturnsImmediately(t *testing.T) {
 	rt := New(Config{Workers: 1})
-	defer rt.Shutdown()
-	rt.WaitOn("never-used") // must not hang
-	rt.WaitOn()             // empty key set is a no-op
+	defer rt.Close()
+	rt.WaitOn(context.Background(), "never-used") // must not hang
+	rt.WaitOn(context.Background())               // empty key set is a no-op
 }
 
-func TestWaitOnAfterShutdown(t *testing.T) {
+func TestWaitOnAfterClose(t *testing.T) {
+	// Regression: WaitOn used to return silently after shutdown; it must
+	// report ErrStopped instead of pretending the keys went quiet.
 	rt := New(Config{Workers: 1})
-	rt.Shutdown()
-	rt.WaitOn("x") // must not hang
+	rt.Close()
+	if err := rt.WaitOn(context.Background(), "x"); err != ErrStopped {
+		t.Fatalf("WaitOn after Close = %v, want ErrStopped", err)
+	}
+	if err := rt.Wait(context.Background()); err != ErrStopped {
+		t.Fatalf("Wait after Close = %v, want ErrStopped", err)
+	}
 }
 
 func TestGraphRecording(t *testing.T) {
@@ -54,7 +62,7 @@ func TestGraphRecording(t *testing.T) {
 	rt.MustSubmit(Task{Name: "r1", Deps: []Dep{In("k")}, Run: func() {}})
 	rt.MustSubmit(Task{Name: "r2", Deps: []Dep{In("k")}, Run: func() {}})
 	rt.MustSubmit(Task{Name: "w2", Deps: []Dep{Out("k")}, Run: func() {}})
-	rt.Barrier()
+	rt.Wait(context.Background())
 	names, edges := rt.Graph()
 	if len(names) != 4 || names[0] != "w" || names[3] != "w2" {
 		t.Fatalf("names = %v", names)
@@ -76,7 +84,7 @@ func TestGraphRecording(t *testing.T) {
 			t.Errorf("missing edge %d->%d in %v", e[0], e[1], edges)
 		}
 	}
-	rt.Shutdown()
+	rt.Close()
 	// The graph stays readable after shutdown.
 	names2, edges2 := rt.Graph()
 	if len(names2) != 4 || len(edges2) != 5 {
@@ -87,24 +95,24 @@ func TestGraphRecording(t *testing.T) {
 func TestGraphDisabledIsEmpty(t *testing.T) {
 	rt := New(Config{Workers: 1})
 	rt.MustSubmit(Task{Deps: []Dep{Out("k")}, Run: func() {}})
-	rt.Barrier()
+	rt.Wait(context.Background())
 	names, edges := rt.Graph()
 	if len(names) != 0 || len(edges) != 0 {
 		t.Fatalf("recording disabled but graph = %v %v", names, edges)
 	}
-	rt.Shutdown()
+	rt.Close()
 }
 
 func TestExportDOT(t *testing.T) {
 	rt := New(Config{Workers: 1, RecordGraph: true})
 	rt.MustSubmit(Task{Name: "producer", Deps: []Dep{Out("k")}, Run: func() {}})
 	rt.MustSubmit(Task{Deps: []Dep{In("k")}, Run: func() {}})
-	rt.Barrier()
+	rt.Wait(context.Background())
 	var buf bytes.Buffer
 	if err := rt.ExportDOT(&buf); err != nil {
 		t.Fatal(err)
 	}
-	rt.Shutdown()
+	rt.Close()
 	out := buf.String()
 	for _, want := range []string{"digraph starss {", `t0 [label="producer"]`, `t1 [label="task1"]`, "t0 -> t1;", "}"} {
 		if !strings.Contains(out, want) {
@@ -119,9 +127,9 @@ func TestGraphMatchesHazardSemantics(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		rt.MustSubmit(Task{Deps: []Dep{InOut("c")}, Run: func() {}})
 	}
-	rt.Barrier()
+	rt.Wait(context.Background())
 	_, edges := rt.Graph()
-	rt.Shutdown()
+	rt.Close()
 	if len(edges) != 9 {
 		t.Fatalf("chain of 10 should record 9 edges, got %d", len(edges))
 	}

@@ -1,8 +1,10 @@
 package starss
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // This file retains the original single-maestro resolver as a measurable
@@ -10,18 +12,21 @@ import (
 // systems the paper compares against. Every Submit and every task-finished
 // event funnels through one resolver goroutine over synchronous channels —
 // the exact software serialization bottleneck the paper's SSI motivation
-// describes and the sharded Runtime removes. New code should use New; use
-// NewMaestro only to measure against it (cmd/nexusbench shards,
+// describes and the sharded Runtime removes. It keeps full API parity with
+// the sharded runtime — typed handles, error propagation, poisoning,
+// context-aware lifecycle — so benchmarks drive both through the identical
+// TaskRuntime interface and compare like-for-like. New code should use New;
+// use NewMaestro only to measure against it (cmd/nexusbench shards,
 // BenchmarkShardScalability).
 
 // TaskRuntime is the execution interface shared by the sharded Runtime and
 // the retained single-maestro baseline, for benchmarks that drive both.
 type TaskRuntime interface {
-	Submit(Task) error
-	MustSubmit(Task)
-	Barrier()
+	Submit(ctx context.Context, t Task) (*Handle, error)
+	MustSubmit(t Task) *Handle
+	Wait(ctx context.Context) error
 	Stats() Stats
-	Shutdown()
+	Close() error
 }
 
 // MaestroRuntime is the original single-resolver runtime. All dependency
@@ -36,15 +41,23 @@ type MaestroRuntime struct {
 	window   chan struct{}
 	readyCh  chan *taskNode
 	stopOnce sync.Once
-	stopped  chan struct{}
-	final    Stats // snapshot taken by Shutdown, readable afterwards
-	workerWG sync.WaitGroup
-	maestroW sync.WaitGroup
+	// drain tells the maestro goroutine to finish every in-flight task and
+	// exit; stopped is closed only after it has, so late submitters and
+	// waiters blocked on the maestro's channels always unblock into
+	// ErrStopped instead of deadlocking against a gone resolver.
+	drain     chan struct{}
+	stopped   chan struct{}
+	nextIndex atomic.Uint64
+	firstErr  atomic.Pointer[taskFailure]
+	final     Stats // snapshot taken by Close, readable afterwards
+	workerWG  sync.WaitGroup
+	maestroW  sync.WaitGroup
 }
 
 // NewMaestro starts the single-maestro baseline runtime. It supports the
-// core task lifecycle (Submit, Barrier, Stats, Shutdown) but not the
-// sharded Runtime's extensions (SubmitAll, WaitOn, graph recording).
+// full task lifecycle (Submit, Wait, Stats, Close, handles, poisoning) but
+// not the sharded Runtime's extensions (SubmitAll, WaitOn, graph
+// recording).
 func NewMaestro(cfg Config) *MaestroRuntime {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
@@ -63,6 +76,7 @@ func NewMaestro(cfg Config) *MaestroRuntime {
 		statsCh:  make(chan chan Stats),
 		window:   make(chan struct{}, cfg.Window),
 		readyCh:  make(chan *taskNode, cfg.Window),
+		drain:    make(chan struct{}),
 		stopped:  make(chan struct{}),
 	}
 	m.maestroW.Add(1)
@@ -74,42 +88,87 @@ func NewMaestro(cfg Config) *MaestroRuntime {
 	return m
 }
 
-// Submit enqueues a task through the maestro goroutine.
-func (m *MaestroRuntime) Submit(t Task) error {
-	node, err := makeNode(t)
+// Submit enqueues a task through the maestro goroutine and returns its
+// handle. It blocks while the window is full — cancelling ctx unblocks it —
+// and the ctx is also the context the task body receives. A nil ctx means
+// context.Background().
+func (m *MaestroRuntime) Submit(ctx context.Context, t Task) (*Handle, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	node, err := makeNode(ctx, t)
 	if err != nil {
-		return err
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	select {
 	case <-m.stopped:
-		return ErrStopped
+		return nil, ErrStopped
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	case m.window <- struct{}{}:
 	}
+	idx := m.nextIndex.Add(1) - 1
+	name := t.Name
+	if name == "" {
+		name = fmt.Sprintf("task%d", idx)
+	}
+	node.handle = &Handle{name: name, index: idx, done: make(chan struct{})}
 	select {
 	case <-m.stopped:
 		<-m.window
-		return ErrStopped
+		return nil, ErrStopped
+	case <-ctx.Done():
+		<-m.window
+		return nil, ctx.Err()
 	case m.submitCh <- node:
-		return nil
+		return node.handle, nil
 	}
 }
 
-// MustSubmit is Submit that panics on error.
-func (m *MaestroRuntime) MustSubmit(t Task) {
-	if err := m.Submit(t); err != nil {
+// MustSubmit is Submit with a background context that panics on submission
+// error.
+func (m *MaestroRuntime) MustSubmit(t Task) *Handle {
+	h, err := m.Submit(context.Background(), t)
+	if err != nil {
 		panic(err)
 	}
+	return h
 }
 
-// Barrier blocks until every task submitted before the call has completed.
-func (m *MaestroRuntime) Barrier() {
+// Wait blocks until every task submitted before the call has completed and
+// returns the first task failure recorded so far, ctx.Err() on
+// cancellation, or ErrStopped when the runtime is already closed.
+func (m *MaestroRuntime) Wait(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	reply := make(chan struct{})
 	select {
 	case <-m.stopped:
-		return
+		return ErrStopped
+	case <-ctx.Done():
+		return ctx.Err()
 	case m.barrier <- reply:
-		<-reply
 	}
+	select {
+	case <-reply:
+		return m.failure()
+	case <-ctx.Done():
+		// The abandoned reply channel is closed by the maestro at the next
+		// idle transition; nothing leaks beyond it.
+		return ctx.Err()
+	}
+}
+
+// failure returns the first recorded root-cause task failure, or nil.
+func (m *MaestroRuntime) failure() error {
+	if f := m.firstErr.Load(); f != nil {
+		return f.err
+	}
+	return nil
 }
 
 // Stats returns a snapshot of the runtime counters.
@@ -123,16 +182,24 @@ func (m *MaestroRuntime) Stats() Stats {
 	}
 }
 
-// Shutdown waits for all submitted tasks and stops the workers.
-func (m *MaestroRuntime) Shutdown() {
-	m.Barrier()
+// Close waits for all submitted tasks, stops the workers and returns the
+// first task failure (nil when every task succeeded).
+func (m *MaestroRuntime) Close() error {
+	_ = m.Wait(context.Background()) // ErrStopped here means already drained
 	m.stopOnce.Do(func() {
-		m.final = m.Stats()
+		// Tell the maestro to drain: a Submit that raced past the Wait
+		// above has either been admitted (the maestro finishes it before
+		// exiting) or is still blocked on submitCh and backs out with
+		// ErrStopped once stopped closes below. The maestro snapshots the
+		// final stats before exiting, so closing stopped afterwards
+		// publishes them to Stats callers.
+		close(m.drain)
+		m.maestroW.Wait()
 		close(m.stopped)
 		close(m.readyCh)
 	})
 	m.workerWG.Wait()
-	m.maestroW.Wait()
+	return m.failure()
 }
 
 // maestro owns all dependency state; it is the software Task Maestro.
@@ -149,9 +216,88 @@ func (m *MaestroRuntime) maestro() {
 			m.readyCh <- node
 		}
 	}
+	pop := func(seg *segState) segWaiter {
+		w := seg.ko[0]
+		seg.ko = seg.ko[1:]
+		if seg.poison != nil {
+			w.node.poison.CompareAndSwap(nil, &taskFailure{err: seg.poison})
+		}
+		return w
+	}
+	finish := func(node *taskNode) {
+		root := node.rootCause()
+		switch {
+		case node.wasSkipped:
+			stats.Skipped++
+		case node.err != nil:
+			stats.Failed++
+			m.firstErr.CompareAndSwap(nil, &taskFailure{err: node.err})
+		default:
+			stats.Executed++
+		}
+		inFlight--
+		for _, d := range node.deps {
+			seg := segs[d.Key]
+			if seg == nil {
+				panic(fmt.Sprintf("starss: finished task %q references unknown key %v", node.handle.name, d.Key))
+			}
+			if root != nil && seg.poison == nil {
+				seg.poison = root
+			}
+			if d.Mode == ModeIn {
+				seg.rdrs--
+				if seg.rdrs > 0 {
+					continue
+				}
+				if !seg.ww {
+					delete(segs, d.Key)
+					continue
+				}
+				w := pop(seg)
+				seg.isOut = true
+				seg.ww = false
+				release(w.node)
+				continue
+			}
+			seg.isOut = false
+			if len(seg.ko) == 0 {
+				delete(segs, d.Key)
+				continue
+			}
+			if seg.ko[0].wantsWrite {
+				w := pop(seg)
+				seg.isOut = true
+				release(w.node)
+				continue
+			}
+			for len(seg.ko) > 0 && !seg.ko[0].wantsWrite {
+				w := pop(seg)
+				seg.rdrs++
+				release(w.node)
+			}
+			if len(seg.ko) > 0 {
+				seg.ww = true
+			}
+		}
+		node.handle.complete(node.err)
+		<-m.window
+		if inFlight == 0 {
+			for _, b := range barriers {
+				close(b)
+			}
+			barriers = barriers[:0]
+		}
+	}
 	for {
 		select {
-		case <-m.stopped:
+		case <-m.drain:
+			for inFlight > 0 {
+				finish(<-m.doneCh)
+			}
+			for _, b := range barriers {
+				close(b)
+			}
+			m.final = stats
 			return
 		case reply := <-m.statsCh:
 			reply <- stats
@@ -181,6 +327,11 @@ func (m *MaestroRuntime) maestro() {
 					}
 					continue
 				}
+				// Joining a still-live poisoned segment taints the task,
+				// mirroring Runtime.checkDeps.
+				if seg.poison != nil {
+					node.poison.CompareAndSwap(nil, &taskFailure{err: seg.poison})
+				}
 				if !wantsWrite {
 					if !seg.isOut && !seg.ww {
 						seg.rdrs++
@@ -203,58 +354,7 @@ func (m *MaestroRuntime) maestro() {
 				stats.Hazards++
 			}
 		case node := <-m.doneCh:
-			stats.Executed++
-			inFlight--
-			for _, d := range node.deps {
-				seg := segs[d.Key]
-				if seg == nil {
-					panic(fmt.Sprintf("starss: finished task %q references unknown key %v", node.task.Name, d.Key))
-				}
-				if d.Mode == ModeIn {
-					seg.rdrs--
-					if seg.rdrs > 0 {
-						continue
-					}
-					if !seg.ww {
-						delete(segs, d.Key)
-						continue
-					}
-					w := seg.ko[0]
-					seg.ko = seg.ko[1:]
-					seg.isOut = true
-					seg.ww = false
-					release(w.node)
-					continue
-				}
-				seg.isOut = false
-				if len(seg.ko) == 0 {
-					delete(segs, d.Key)
-					continue
-				}
-				if seg.ko[0].wantsWrite {
-					w := seg.ko[0]
-					seg.ko = seg.ko[1:]
-					seg.isOut = true
-					release(w.node)
-					continue
-				}
-				for len(seg.ko) > 0 && !seg.ko[0].wantsWrite {
-					w := seg.ko[0]
-					seg.ko = seg.ko[1:]
-					seg.rdrs++
-					release(w.node)
-				}
-				if len(seg.ko) > 0 {
-					seg.ww = true
-				}
-			}
-			<-m.window
-			if inFlight == 0 {
-				for _, b := range barriers {
-					close(b)
-				}
-				barriers = barriers[:0]
-			}
+			finish(node)
 		}
 	}
 }
@@ -265,9 +365,7 @@ func (m *MaestroRuntime) worker() {
 	depth := m.cfg.BufferingDepth
 	if depth <= 1 {
 		for node := range m.readyCh {
-			if node.task.Prefetch != nil {
-				node.task.Prefetch()
-			}
+			prefetchNode(node)
 			m.runBody(node)
 		}
 		return
@@ -279,9 +377,7 @@ func (m *MaestroRuntime) worker() {
 		defer ctlWG.Done()
 		defer close(local)
 		for node := range m.readyCh {
-			if node.task.Prefetch != nil {
-				node.task.Prefetch()
-			}
+			prefetchNode(node)
 			local <- node
 		}
 	}()
@@ -292,9 +388,6 @@ func (m *MaestroRuntime) worker() {
 }
 
 func (m *MaestroRuntime) runBody(node *taskNode) {
-	node.task.Run()
-	if node.task.WriteBack != nil {
-		node.task.WriteBack()
-	}
+	runNode(node)
 	m.doneCh <- node
 }

@@ -1,6 +1,7 @@
 package starss
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -20,13 +21,13 @@ func TestShardsRoundedToPowerOfTwo(t *testing.T) {
 		if got := len(rt.banks); got != tc.want {
 			t.Errorf("Shards %d rounded to %d banks, want %d", tc.in, got, tc.want)
 		}
-		rt.Shutdown()
+		rt.Close()
 	}
 	rt := New(Config{Workers: 4})
 	if got := len(rt.banks); got != nextPow2(defaultShards(4)) {
 		t.Errorf("default shards = %d", got)
 	}
-	rt.Shutdown()
+	rt.Close()
 }
 
 func TestSingleShardPreservesSemantics(t *testing.T) {
@@ -46,7 +47,7 @@ func TestSingleShardPreservesSemantics(t *testing.T) {
 			},
 		})
 	}
-	rt.Shutdown()
+	rt.Close()
 	for i, v := range order {
 		if v != i {
 			t.Fatalf("chain order broken at %d: %v", i, order[:i+1])
@@ -84,7 +85,7 @@ func TestMultiKeyTasksAcrossBanks(t *testing.T) {
 				},
 			})
 		}
-		rt.Shutdown()
+		rt.Close()
 		if len(h.bad) > 0 {
 			t.Fatalf("shards=%d: hazard violations: %v", shards, h.bad[:min(5, len(h.bad))])
 		}
@@ -115,7 +116,7 @@ func TestConcurrentSubmitters(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	rt.Shutdown()
+	rt.Close()
 	if executed.Load() != goroutines*perG {
 		t.Fatalf("executed %d of %d", executed.Load(), goroutines*perG)
 	}
@@ -142,10 +143,10 @@ func TestSubmitAllOrdering(t *testing.T) {
 			},
 		}
 	}
-	if err := rt.SubmitAll(tasks); err != nil {
+	if _, err := rt.SubmitAll(context.Background(), tasks); err != nil {
 		t.Fatal(err)
 	}
-	rt.Shutdown()
+	rt.Close()
 	if len(order) != len(tasks) {
 		t.Fatalf("ran %d of %d", len(order), len(tasks))
 	}
@@ -165,10 +166,10 @@ func TestSubmitAllLargerThanWindow(t *testing.T) {
 		i := i
 		tasks[i] = Task{Deps: []Dep{Out(i)}, Run: func() { n.Add(1) }}
 	}
-	if err := rt.SubmitAll(tasks); err != nil {
+	if _, err := rt.SubmitAll(context.Background(), tasks); err != nil {
 		t.Fatal(err)
 	}
-	rt.Shutdown()
+	rt.Close()
 	if n.Load() != 100 {
 		t.Fatalf("executed %d of 100", n.Load())
 	}
@@ -179,7 +180,7 @@ func TestSubmitAllLargerThanWindow(t *testing.T) {
 
 func TestSubmitAllValidation(t *testing.T) {
 	rt := New(Config{Workers: 1})
-	err := rt.SubmitAll([]Task{
+	_, err := rt.SubmitAll(context.Background(), []Task{
 		{Run: func() {}},
 		{}, // no Run
 	})
@@ -187,16 +188,16 @@ func TestSubmitAllValidation(t *testing.T) {
 		t.Fatal("batch with an invalid task accepted")
 	}
 	// Validation happens before admission: nothing ran.
-	rt.Barrier()
+	rt.Wait(context.Background())
 	if st := rt.Stats(); st.Submitted != 0 {
 		t.Fatalf("invalid batch partially admitted: %+v", st)
 	}
-	if err := rt.SubmitAll(nil); err != nil {
+	if _, err := rt.SubmitAll(context.Background(), nil); err != nil {
 		t.Fatalf("empty batch: %v", err)
 	}
-	rt.Shutdown()
-	if err := rt.SubmitAll([]Task{{Run: func() {}}}); err != ErrStopped {
-		t.Fatalf("SubmitAll after Shutdown = %v, want ErrStopped", err)
+	rt.Close()
+	if _, err := rt.SubmitAll(context.Background(), []Task{{Run: func() {}}}); err != ErrStopped {
+		t.Fatalf("SubmitAll after Close = %v, want ErrStopped", err)
 	}
 }
 
@@ -210,7 +211,7 @@ func TestSubmitAllRAWAcrossBatches(t *testing.T) {
 		i := i
 		writers[i] = Task{Deps: []Dep{Out(i)}, Run: func() { data[i] = i + 1 }}
 	}
-	if err := rt.SubmitAll(writers); err != nil {
+	if _, err := rt.SubmitAll(context.Background(), writers); err != nil {
 		t.Fatal(err)
 	}
 	sum := 0
@@ -223,7 +224,7 @@ func TestSubmitAllRAWAcrossBatches(t *testing.T) {
 			sum += v
 		}
 	}})
-	rt.Shutdown()
+	rt.Close()
 	want := 0
 	for i := range data {
 		want += i + 1
@@ -235,7 +236,7 @@ func TestSubmitAllRAWAcrossBatches(t *testing.T) {
 
 func TestBankIndexStable(t *testing.T) {
 	rt := New(Config{Workers: 1, Shards: 16})
-	defer rt.Shutdown()
+	defer rt.Close()
 	for _, k := range []Key{"a", 7, [2]int{1, 2}, 3.5} {
 		i, j := rt.bankIndex(k), rt.bankIndex(k)
 		if i != j {
@@ -265,8 +266,8 @@ func TestMaestroBaselineSemantics(t *testing.T) {
 			},
 		})
 	}
-	rt.Barrier()
-	rt.Shutdown()
+	rt.Wait(context.Background())
+	rt.Close()
 	for i, v := range order {
 		if v != i {
 			t.Fatalf("maestro chain order broken at %d: %v", i, order[:i+1])
@@ -276,8 +277,8 @@ func TestMaestroBaselineSemantics(t *testing.T) {
 	if st.Submitted != 40 || st.Executed != 40 {
 		t.Fatalf("maestro stats = %+v", st)
 	}
-	if err := rt.Submit(Task{Run: func() {}}); err != ErrStopped {
-		t.Fatalf("maestro Submit after Shutdown = %v, want ErrStopped", err)
+	if _, err := rt.Submit(context.Background(), Task{Run: func() {}}); err != ErrStopped {
+		t.Fatalf("maestro Submit after Close = %v, want ErrStopped", err)
 	}
 }
 
@@ -301,7 +302,7 @@ func TestConcurrentSubmitAll(t *testing.T) {
 					Run:  func() { executed.Add(1) },
 				}
 			}
-			if err := rt.SubmitAll(tasks); err != nil {
+			if _, err := rt.SubmitAll(context.Background(), tasks); err != nil {
 				t.Error(err)
 			}
 		}()
@@ -313,7 +314,7 @@ func TestConcurrentSubmitAll(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("concurrent SubmitAll deadlocked on window tokens")
 	}
-	rt.Shutdown()
+	rt.Close()
 	if executed.Load() != batches*perBatch {
 		t.Fatalf("executed %d of %d", executed.Load(), batches*perBatch)
 	}

@@ -9,6 +9,16 @@
 // waits for all previous readers ("a writer waits" flag), and waiters queue
 // in per-segment kick-off lists released by the handle-finished path.
 //
+// Every submission returns a *Handle — the software analogue of the task ID
+// Nexus++ assigns in hardware and tracks from Check Deps through Handle
+// Finished. A handle exposes the task's completion channel, its final error,
+// and its resolved name and submission index. Task bodies are
+// context-aware functions that may fail: a task that returns an error,
+// panics, or is cancelled poisons its transitive dependents — they are
+// skipped (never run), their handles report ErrDependencyFailed wrapping the
+// root cause, and the kick-off lists still drain, so a failure never wedges
+// the in-flight window.
+//
 // Dependency state is sharded into lock-striped banks hashed by key — the
 // software analogue of the multiple Dependence Table banks of the Nexus++
 // hardware — so independent keys resolve concurrently on both the Submit
@@ -27,6 +37,7 @@
 package starss
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/maphash"
@@ -83,20 +94,43 @@ func InOut(k Key) Dep { return Dep{Key: k, Mode: ModeInOut} }
 
 // Task is a unit of work with declared dependencies.
 type Task struct {
-	// Name is optional and used in diagnostics.
+	// Name is optional and used in diagnostics and Handle.Name.
 	Name string
 	// Deps declares the data the task accesses. Duplicate keys are merged
 	// (read + write on the same key becomes inout).
 	Deps []Dep
-	// Run executes the task. Required.
+	// Do executes the task. The context is the one the task was submitted
+	// with; bodies should honour its cancellation. A non-nil error marks
+	// the task failed and poisons its transitive dependents. Exactly one
+	// of Do and Run must be set.
+	Do func(ctx context.Context) error
+	// Run is the legacy task body: no context, cannot fail. It is adapted
+	// to Do during migration; new code should use Do.
 	Run func()
-	// Prefetch, when set, runs on the worker's controller before Run may
-	// start, overlapping the previous task's execution (double buffering).
-	// It must only touch the task's declared In/InOut data.
+	// Prefetch, when set, runs on the worker's controller before the task
+	// body may start, overlapping the previous task's execution (double
+	// buffering). It must only touch the task's declared In/InOut data.
+	// It does not run for skipped or cancelled tasks.
 	Prefetch func()
-	// WriteBack, when set, runs after Run on the worker (the Put Outputs
-	// phase). The task's outputs are only visible to dependents after it.
+	// WriteBack, when set, runs after a successful task body on the worker
+	// (the Put Outputs phase). The task's outputs are only visible to
+	// dependents after it. It does not run when the body fails.
 	WriteBack func()
+}
+
+// body resolves the task's executable: Do, or the legacy Run adapted.
+func (t *Task) body() (func(context.Context) error, error) {
+	switch {
+	case t.Do != nil && t.Run != nil:
+		return nil, errors.New("starss: task sets both Do and Run")
+	case t.Do != nil:
+		return t.Do, nil
+	case t.Run != nil:
+		run := t.Run
+		return func(context.Context) error { run(); return nil }, nil
+	default:
+		return nil, errors.New("starss: task has no Do or Run function")
+	}
 }
 
 // Config parameterises a Runtime.
@@ -125,11 +159,79 @@ type Config struct {
 // Stats reports runtime counters.
 type Stats struct {
 	Submitted uint64
-	Executed  uint64
+	// Executed counts tasks whose body ran to completion successfully.
+	Executed uint64
+	// Failed counts tasks whose body returned an error, panicked, or was
+	// cancelled before running — the root causes of poisoning.
+	Failed uint64
+	// Skipped counts tasks that never ran because a transitive dependency
+	// failed; their handles report ErrDependencyFailed.
+	Skipped uint64
 	// MaxInFlight is the high-water mark of submitted-but-unfinished tasks.
 	MaxInFlight int
 	// Hazards counts tasks that had to wait at least once (DC > 0).
 	Hazards uint64
+}
+
+// String renders the counters in one line, for reports and logs.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"submitted=%d executed=%d failed=%d skipped=%d hazards=%d max-in-flight=%d",
+		s.Submitted, s.Executed, s.Failed, s.Skipped, s.Hazards, s.MaxInFlight)
+}
+
+// Handle tracks one submitted task — the software analogue of the task ID
+// the Nexus++ hardware assigns at submission and tracks through Handle
+// Finished. Handles are returned by Submit/SubmitAll and stay valid after
+// the runtime is closed.
+type Handle struct {
+	name  string
+	index uint64
+	done  chan struct{}
+	err   error // written before done is closed
+}
+
+// Done returns a channel closed when the task completes: executed, failed,
+// or skipped because a dependency failed.
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Err returns the task's final status: nil while the task is still pending
+// or after success; the body's error (or panic, or cancellation cause) on
+// failure; an error wrapping ErrDependencyFailed and the root cause when
+// the task was skipped.
+func (h *Handle) Err() error {
+	select {
+	case <-h.done:
+		return h.err
+	default:
+		return nil
+	}
+}
+
+// Index is the task's submission index, assigned in admission order — the
+// task-ID analogue.
+func (h *Handle) Index() uint64 { return h.index }
+
+// Name is the task's resolved name: Task.Name, or "task<index>" when the
+// task was submitted nameless.
+func (h *Handle) Name() string { return h.name }
+
+// Wait blocks until the task completes or ctx is cancelled, returning the
+// task's final error or ctx.Err().
+func (h *Handle) Wait(ctx context.Context) error {
+	select {
+	case <-h.done:
+		return h.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// complete publishes the task's outcome; err is visible to any Handle
+// reader ordered after the close.
+func (h *Handle) complete(err error) {
+	h.err = err
+	close(h.done)
 }
 
 // bank is one lock-striped slice of the dependence table. The pad brings
@@ -153,8 +255,8 @@ type Runtime struct {
 	stopped  chan struct{}
 	workerWG sync.WaitGroup
 
-	// subMu fences admission against Shutdown: submitters hold it shared
-	// while they admit and resolve; Shutdown takes it exclusively to close
+	// subMu fences admission against Close: submitters hold it shared
+	// while they admit and resolve; Close takes it exclusively to close
 	// stopped, so no submitter can be left mid-admission with a send to
 	// readyCh pending when the channel is closed.
 	subMu sync.RWMutex
@@ -166,9 +268,12 @@ type Runtime struct {
 
 	submitted   atomic.Uint64
 	executed    atomic.Uint64
+	failed      atomic.Uint64
+	skipped     atomic.Uint64
 	hazards     atomic.Uint64
 	inFlight    atomic.Int64
 	maxInFlight atomic.Int64
+	firstErr    atomic.Pointer[taskFailure]
 
 	// coord serialises barrier and WaitOn bookkeeping; it is only taken on
 	// the finish path when a waiter is registered or in-flight hits zero,
@@ -181,14 +286,35 @@ type Runtime struct {
 	recorder *graphRecorder
 }
 
+// taskFailure is the boxed root-cause record behind firstErr.
+type taskFailure struct {
+	err error
+}
+
 type taskNode struct {
-	task Task
-	deps []Dep // normalised
+	task   Task
+	do     func(context.Context) error
+	ctx    context.Context
+	handle *Handle
+	deps   []Dep // normalised
 	// bankOf[i] is the bank index of deps[i]; banks is the sorted,
 	// deduplicated set — the per-task acquisition order.
 	bankOf []int
 	banks  []int
 	dc     atomic.Int32
+	// poison carries the root-cause error of a failed transitive
+	// dependency. Set (first failure wins) by the finish path of a
+	// poisoned predecessor — or by checkDeps when the task joins a
+	// still-poisoned segment — before this node can reach a worker.
+	poison atomic.Pointer[taskFailure]
+	// prefetchErr records a panic recovered from Task.Prefetch on the
+	// controller goroutine; the worker converts it into the task's
+	// failure instead of running the body.
+	prefetchErr error
+	// err and wasSkipped are the node's outcome, written by its worker
+	// before resolveFinished and published through the handle.
+	err        error
+	wasSkipped bool
 }
 
 type segState struct {
@@ -196,6 +322,11 @@ type segState struct {
 	rdrs  int
 	ww    bool
 	ko    []segWaiter
+	// poison records that a task ordered in this segment's history failed;
+	// every waiter popped afterwards is a transitive dependent and is
+	// skipped. It dies with the segment: once the key drains and the
+	// segment is deleted, later submissions start clean.
+	poison error
 }
 
 type segWaiter struct {
@@ -203,8 +334,16 @@ type segWaiter struct {
 	wantsWrite bool
 }
 
-// ErrStopped is returned by Submit after Shutdown.
+// ErrStopped is returned by Submit, Wait and WaitOn after Close.
 var ErrStopped = errors.New("starss: runtime is shut down")
+
+// ErrDependencyFailed marks a task skipped because a transitive dependency
+// failed; Handle.Err wraps it together with the root cause.
+var ErrDependencyFailed = errors.New("starss: dependency failed")
+
+// ErrTaskPanicked marks a task whose body panicked; the recovered value is
+// in the wrapping error, and dependents are poisoned as for any failure.
+var ErrTaskPanicked = errors.New("starss: task panicked")
 
 // defaultShards picks a bank count that gives low collision probability at
 // full worker concurrency.
@@ -283,15 +422,24 @@ func (rt *Runtime) prepare(node *taskNode) {
 	for i, d := range node.deps {
 		node.bankOf[i] = rt.bankIndex(d.Key)
 	}
-	node.banks = append([]int(nil), node.bankOf...)
-	sort.Ints(node.banks)
-	uniq := node.banks[:1]
-	for _, b := range node.banks[1:] {
-		if b != uniq[len(uniq)-1] {
-			uniq = append(uniq, b)
+	node.banks = sortedUnique(append([]int(nil), node.bankOf...))
+}
+
+// sortedUnique sorts ints in place and drops duplicates — the canonical
+// bank-acquisition order shared by Submit and SubmitAll, whose global
+// ascending total order is what keeps multi-bank locking deadlock-free.
+func sortedUnique(ints []int) []int {
+	if len(ints) == 0 {
+		return ints
+	}
+	sort.Ints(ints)
+	uniq := ints[:1]
+	for _, v := range ints[1:] {
+		if v != uniq[len(uniq)-1] {
+			uniq = append(uniq, v)
 		}
 	}
-	node.banks = uniq
+	return uniq
 }
 
 // lockBanks acquires the given sorted bank set; the global ascending order
@@ -308,21 +456,36 @@ func (rt *Runtime) unlockBanks(banks []int) {
 	}
 }
 
-// Submit enqueues a task. It blocks while the in-flight window is full and
-// returns an error for invalid tasks or after Shutdown.
+// Submit enqueues a task and returns its handle. It blocks while the
+// in-flight window is full — cancelling ctx unblocks it — and returns an
+// error for invalid tasks, a cancelled context, or after Close. The ctx is
+// also the context the task body receives: cancelling it after admission
+// fails the task (and poisons its dependents) if it has not started yet,
+// and is observable from inside Do once it has. A nil ctx means
+// context.Background().
 //
 // Dependency resolution happens synchronously in the caller: tasks
 // submitted from one goroutine acquire segments in exact program order
 // (the StarSs sequential-semantics contract). Tasks submitted concurrently
 // from several goroutines are ordered by bank acquisition.
-func (rt *Runtime) Submit(t Task) error {
-	node, err := makeNode(t)
+func (rt *Runtime) Submit(ctx context.Context, t Task) (*Handle, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	node, err := makeNode(ctx, t)
 	if err != nil {
-		return err
+		return nil, err
+	}
+	// Check cancellation before racing the window send, so a dead context
+	// is rejected deterministically rather than sometimes admitted.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	select {
 	case <-rt.stopped:
-		return ErrStopped
+		return nil, ErrStopped
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	case rt.window <- struct{}{}:
 	}
 	rt.subMu.RLock()
@@ -330,29 +493,36 @@ func (rt *Runtime) Submit(t Task) error {
 	case <-rt.stopped:
 		rt.subMu.RUnlock()
 		<-rt.window
-		return ErrStopped
+		return nil, ErrStopped
 	default:
 	}
 	rt.prepare(node)
 	rt.admit(node)
 	rt.resolveNew(node)
 	rt.subMu.RUnlock()
-	return nil
+	return node.handle, nil
 }
 
 // SubmitAll enqueues a batch of tasks in order, amortising bank locking:
 // each chunk of the batch is admitted under a single acquisition of the
-// banks it touches. It blocks while the window is full and returns the
-// first validation error (before admitting anything) or ErrStopped; on
-// ErrStopped, earlier chunks of the batch may already have been admitted.
-func (rt *Runtime) SubmitAll(tasks []Task) error {
+// banks it touches. It blocks while the window is full (cancelling ctx
+// unblocks it) and returns the first validation error before admitting
+// anything, or ErrStopped/ctx.Err() mid-batch; the returned handles cover
+// the prefix that was admitted (all tasks on success).
+func (rt *Runtime) SubmitAll(ctx context.Context, tasks []Task) ([]*Handle, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	nodes := make([]*taskNode, len(tasks))
 	for i, t := range tasks {
-		node, err := makeNode(t)
+		node, err := makeNode(ctx, t)
 		if err != nil {
-			return fmt.Errorf("task %d: %w", i, err)
+			return nil, fmt.Errorf("task %d: %w", i, err)
 		}
 		nodes[i] = node
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	// Chunk so one batch can never hold more window tokens than exist, and
 	// so bank locks are not held for unboundedly long.
@@ -360,35 +530,44 @@ func (rt *Runtime) SubmitAll(tasks []Task) error {
 	if chunkMax > 256 {
 		chunkMax = 256
 	}
+	handles := make([]*Handle, 0, len(nodes))
 	for len(nodes) > 0 {
 		n := len(nodes)
 		if n > chunkMax {
 			n = chunkMax
 		}
-		if err := rt.submitChunk(nodes[:n]); err != nil {
-			return err
+		if err := rt.submitChunk(ctx, nodes[:n]); err != nil {
+			return handles, err
+		}
+		for _, node := range nodes[:n] {
+			handles = append(handles, node.handle)
 		}
 		nodes = nodes[n:]
 	}
-	return nil
+	return handles, nil
 }
 
-func (rt *Runtime) submitChunk(nodes []*taskNode) error {
+func (rt *Runtime) submitChunk(ctx context.Context, nodes []*taskNode) error {
 	// Chunks take their window tokens one at a time; batchMu makes that
 	// acquisition all-or-nothing across batches, so two concurrent
 	// SubmitAll calls cannot each hold a fraction of the window and wait
 	// forever for the rest.
 	rt.batchMu.Lock()
 	for taken := 0; taken < len(nodes); taken++ {
+		var err error
 		select {
 		case <-rt.stopped:
-			for ; taken > 0; taken-- {
-				<-rt.window
-			}
-			rt.batchMu.Unlock()
-			return ErrStopped
+			err = ErrStopped
+		case <-ctx.Done():
+			err = ctx.Err()
 		case rt.window <- struct{}{}:
+			continue
 		}
+		for ; taken > 0; taken-- {
+			<-rt.window
+		}
+		rt.batchMu.Unlock()
+		return err
 	}
 	rt.batchMu.Unlock()
 	rt.subMu.RLock()
@@ -406,13 +585,7 @@ func (rt *Runtime) submitChunk(nodes []*taskNode) error {
 		rt.prepare(node)
 		banks = append(banks, node.banks...)
 	}
-	sort.Ints(banks)
-	uniq := banks[:0]
-	for _, b := range banks {
-		if len(uniq) == 0 || b != uniq[len(uniq)-1] {
-			uniq = append(uniq, b)
-		}
-	}
+	uniq := sortedUnique(banks)
 	for _, node := range nodes {
 		rt.admit(node)
 	}
@@ -434,21 +607,27 @@ func (rt *Runtime) submitChunk(nodes []*taskNode) error {
 }
 
 // makeNode validates and normalises one task.
-func makeNode(t Task) (*taskNode, error) {
-	if t.Run == nil {
-		return nil, errors.New("starss: task has no Run function")
+func makeNode(ctx context.Context, t Task) (*taskNode, error) {
+	do, err := t.body()
+	if err != nil {
+		return nil, err
 	}
 	deps, err := normalizeDeps(t.Deps)
 	if err != nil {
 		return nil, err
 	}
-	return &taskNode{task: t, deps: deps}, nil
+	return &taskNode{task: t, do: do, ctx: ctx, deps: deps}, nil
 }
 
-// admit updates the submission counters and graph recorder. The caller
-// must already hold a window token.
+// admit assigns the task its ID (submission index), creates the handle and
+// updates the graph recorder. The caller must already hold a window token.
 func (rt *Runtime) admit(node *taskNode) {
-	rt.submitted.Add(1)
+	idx := rt.submitted.Add(1) - 1
+	name := node.task.Name
+	if name == "" {
+		name = fmt.Sprintf("task%d", idx)
+	}
+	node.handle = &Handle{name: name, index: idx, done: make(chan struct{})}
 	n := rt.inFlight.Add(1)
 	for {
 		max := rt.maxInFlight.Load()
@@ -491,6 +670,14 @@ func (rt *Runtime) checkDeps(node *taskNode) int {
 			}
 			continue
 		}
+		// A still-live poisoned segment taints every task that joins it —
+		// reader or writer, queued or not — until the key drains and the
+		// segment is deleted. Without this a reader sharing the segment
+		// with already-skipped readers would run against data its failed
+		// producer never wrote.
+		if seg.poison != nil {
+			node.poison.CompareAndSwap(nil, &taskFailure{err: seg.poison})
+		}
 		if !wantsWrite {
 			if !seg.isOut && !seg.ww {
 				seg.rdrs++
@@ -513,22 +700,51 @@ func (rt *Runtime) checkDeps(node *taskNode) int {
 	return dc
 }
 
+// rootCause is the error a finished node propagates to its dependents: its
+// own failure, or — when the node itself was skipped — the original root
+// cause it was poisoned with, so chains report the first failure, not a
+// nest of skip wrappers.
+func (node *taskNode) rootCause() error {
+	if node.err == nil {
+		return nil
+	}
+	if p := node.poison.Load(); p != nil {
+		return p.err
+	}
+	return node.err
+}
+
 // resolveFinished runs the Handle Finished path (SSIII-B) for one task:
 // releases its segments, pops kick-off lists and dispatches any task whose
-// dependence count reaches zero.
+// dependence count reaches zero. A failed (or skipped) finisher poisons the
+// segments it releases, so every waiter popped behind it — now or by a
+// later finisher — is skipped as a transitive dependent while the kick-off
+// lists drain normally.
 func (rt *Runtime) resolveFinished(node *taskNode) {
+	root := node.rootCause()
 	var released []*taskNode
 	release := func(n *taskNode) {
 		if n.dc.Add(-1) == 0 {
 			released = append(released, n)
 		}
 	}
+	pop := func(seg *segState) segWaiter {
+		w := seg.ko[0]
+		seg.ko = seg.ko[1:]
+		if seg.poison != nil {
+			w.node.poison.CompareAndSwap(nil, &taskFailure{err: seg.poison})
+		}
+		return w
+	}
 	rt.lockBanks(node.banks)
 	for i, d := range node.deps {
 		b := &rt.banks[node.bankOf[i]]
 		seg := b.segs[d.Key]
 		if seg == nil {
-			panic(fmt.Sprintf("starss: finished task %q references unknown key %v", node.task.Name, d.Key))
+			panic(fmt.Sprintf("starss: finished task %q references unknown key %v", node.handle.name, d.Key))
+		}
+		if root != nil && seg.poison == nil {
+			seg.poison = root
 		}
 		if d.Mode == ModeIn {
 			seg.rdrs--
@@ -539,8 +755,7 @@ func (rt *Runtime) resolveFinished(node *taskNode) {
 				delete(b.segs, d.Key)
 				continue
 			}
-			w := seg.ko[0]
-			seg.ko = seg.ko[1:]
+			w := pop(seg)
 			seg.isOut = true
 			seg.ww = false
 			release(w.node)
@@ -552,15 +767,13 @@ func (rt *Runtime) resolveFinished(node *taskNode) {
 			continue
 		}
 		if seg.ko[0].wantsWrite {
-			w := seg.ko[0]
-			seg.ko = seg.ko[1:]
+			w := pop(seg)
 			seg.isOut = true
 			release(w.node)
 			continue
 		}
 		for len(seg.ko) > 0 && !seg.ko[0].wantsWrite {
-			w := seg.ko[0]
-			seg.ko = seg.ko[1:]
+			w := pop(seg)
 			seg.rdrs++
 			release(w.node)
 		}
@@ -572,7 +785,16 @@ func (rt *Runtime) resolveFinished(node *taskNode) {
 	for _, n := range released {
 		rt.readyCh <- n
 	}
-	rt.executed.Add(1)
+	switch {
+	case node.wasSkipped:
+		rt.skipped.Add(1)
+	case node.err != nil:
+		rt.failed.Add(1)
+		rt.firstErr.CompareAndSwap(nil, &taskFailure{err: node.err})
+	default:
+		rt.executed.Add(1)
+	}
+	node.handle.complete(node.err)
 	<-rt.window
 	n := rt.inFlight.Add(-1)
 	if n == 0 || rt.waiterCount.Load() > 0 {
@@ -591,27 +813,59 @@ func (rt *Runtime) resolveFinished(node *taskNode) {
 	}
 }
 
-// MustSubmit is Submit that panics on error, for straight-line example code.
-func (rt *Runtime) MustSubmit(t Task) {
-	if err := rt.Submit(t); err != nil {
+// MustSubmit is Submit with a background context that panics on submission
+// error, for straight-line example code.
+func (rt *Runtime) MustSubmit(t Task) *Handle {
+	h, err := rt.Submit(context.Background(), t)
+	if err != nil {
 		panic(err)
 	}
+	return h
 }
 
-// Barrier blocks until every task submitted before the call has completed —
-// the css barrier pragma.
-func (rt *Runtime) Barrier() {
+// Wait blocks until every task submitted before the call has completed —
+// the css barrier pragma — and returns the first task failure recorded so
+// far (the root cause, not a skip wrapper), nil when all tasks succeeded,
+// ctx.Err() if the context is cancelled first, or ErrStopped when the
+// runtime is already closed.
+func (rt *Runtime) Wait(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	select {
 	case <-rt.stopped:
-		return
+		return ErrStopped
 	default:
 	}
-	rt.waitIdle()
+	rt.coord.Lock()
+	if rt.inFlight.Load() == 0 {
+		rt.coord.Unlock()
+		return rt.failure()
+	}
+	reply := make(chan struct{})
+	rt.barriers = append(rt.barriers, reply)
+	rt.coord.Unlock()
+	select {
+	case <-reply:
+		return rt.failure()
+	case <-ctx.Done():
+		// The abandoned reply channel is closed and dropped by the next
+		// idle transition; nothing leaks beyond it.
+		return ctx.Err()
+	}
 }
 
-// waitIdle blocks until the in-flight count reaches zero. Unlike Barrier
-// it works after stopped is closed, which Shutdown needs to drain
-// last-moment admissions before closing readyCh.
+// failure returns the first recorded root-cause task failure, or nil.
+func (rt *Runtime) failure() error {
+	if f := rt.firstErr.Load(); f != nil {
+		return f.err
+	}
+	return nil
+}
+
+// waitIdle blocks until the in-flight count reaches zero. Unlike Wait it
+// works after stopped is closed, which Close needs to drain last-moment
+// admissions before closing readyCh.
 func (rt *Runtime) waitIdle() {
 	rt.coord.Lock()
 	if rt.inFlight.Load() == 0 {
@@ -658,27 +912,31 @@ func (rt *Runtime) checkWaitersLocked() {
 	rt.waiters = kept
 }
 
-// Stats returns a snapshot of the runtime counters. After Shutdown it
-// returns the final counters.
+// Stats returns a snapshot of the runtime counters. After Close it returns
+// the final counters.
 func (rt *Runtime) Stats() Stats {
 	return Stats{
 		Submitted:   rt.submitted.Load(),
 		Executed:    rt.executed.Load(),
+		Failed:      rt.failed.Load(),
+		Skipped:     rt.skipped.Load(),
 		MaxInFlight: int(rt.maxInFlight.Load()),
 		Hazards:     rt.hazards.Load(),
 	}
 }
 
-// Shutdown waits for all submitted tasks and stops the workers. The runtime
-// cannot be reused afterwards.
-func (rt *Runtime) Shutdown() {
-	rt.Barrier()
+// Close waits for all submitted tasks, stops the workers and returns the
+// first task failure (nil when every task succeeded). The runtime cannot
+// be reused afterwards; further Submit/Wait/WaitOn calls return ErrStopped
+// and further Close calls return the same failure.
+func (rt *Runtime) Close() error {
+	rt.waitIdle()
 	rt.stopOnce.Do(func() {
 		// Closing stopped under the exclusive fence guarantees no
-		// submitter is mid-admission; any Submit that raced past Barrier
-		// has either fully admitted (drained by waitIdle below) or will
-		// observe stopped under its shared lock and back out. Only then is
-		// readyCh safe to close.
+		// submitter is mid-admission; any Submit that raced past the drain
+		// above has either fully admitted (drained by waitIdle below) or
+		// will observe stopped under its shared lock and back out. Only
+		// then is readyCh safe to close.
 		rt.subMu.Lock()
 		close(rt.stopped)
 		rt.subMu.Unlock()
@@ -686,6 +944,7 @@ func (rt *Runtime) Shutdown() {
 		close(rt.readyCh)
 	})
 	rt.workerWG.Wait()
+	return rt.failure()
 }
 
 // normalizeDeps merges duplicate keys: any read + any write on the same key
@@ -723,7 +982,8 @@ func (rt *Runtime) worker() {
 	if depth <= 1 {
 		// No buffering: fetch, run and write back serially.
 		for node := range rt.readyCh {
-			rt.execute(node)
+			prefetchNode(node)
+			rt.runBody(node)
 		}
 		return
 	}
@@ -737,9 +997,7 @@ func (rt *Runtime) worker() {
 		defer ctlWG.Done()
 		defer close(local)
 		for node := range rt.readyCh {
-			if node.task.Prefetch != nil {
-				node.task.Prefetch()
-			}
+			prefetchNode(node)
 			local <- node
 		}
 	}()
@@ -749,18 +1007,57 @@ func (rt *Runtime) worker() {
 	ctlWG.Wait()
 }
 
-// execute performs the full unbuffered task lifecycle.
-func (rt *Runtime) execute(node *taskNode) {
-	if node.task.Prefetch != nil {
-		node.task.Prefetch()
+// prefetchNode runs the Get Inputs phase unless the task will not run. A
+// panicking Prefetch is recorded on the node and fails the task when the
+// worker picks it up, instead of killing the controller goroutine.
+func prefetchNode(node *taskNode) {
+	if node.task.Prefetch == nil {
+		return
 	}
-	rt.runBody(node)
+	if node.poison.Load() != nil || node.ctx.Err() != nil {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			node.prefetchErr = fmt.Errorf("%w: task %q (in Prefetch): %v", ErrTaskPanicked, node.handle.name, r)
+		}
+	}()
+	node.task.Prefetch()
+}
+
+// runNode executes one released node's lifecycle up to (not including) the
+// handle-finished path, recording the outcome on the node: skipped when a
+// transitive dependency poisoned it, failed when its context was cancelled
+// before it started, and otherwise the body's own result with panics —
+// from the body or from WriteBack — recovered into ErrTaskPanicked.
+func runNode(node *taskNode) {
+	if p := node.poison.Load(); p != nil {
+		node.wasSkipped = true
+		node.err = fmt.Errorf("%w: task %q skipped: %w", ErrDependencyFailed, node.handle.name, p.err)
+		return
+	}
+	if node.prefetchErr != nil {
+		node.err = node.prefetchErr
+		return
+	}
+	if err := node.ctx.Err(); err != nil {
+		node.err = fmt.Errorf("starss: task %q cancelled before start: %w", node.handle.name, err)
+		return
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				node.err = fmt.Errorf("%w: task %q: %v", ErrTaskPanicked, node.handle.name, r)
+			}
+		}()
+		node.err = node.do(node.ctx)
+		if node.err == nil && node.task.WriteBack != nil {
+			node.task.WriteBack()
+		}
+	}()
 }
 
 func (rt *Runtime) runBody(node *taskNode) {
-	node.task.Run()
-	if node.task.WriteBack != nil {
-		node.task.WriteBack()
-	}
+	runNode(node)
 	rt.resolveFinished(node)
 }

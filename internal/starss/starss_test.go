@@ -1,6 +1,7 @@
 package starss
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -52,7 +53,7 @@ func TestBasicExecution(t *testing.T) {
 			Run:  func() { count.Add(1) },
 		})
 	}
-	rt.Shutdown()
+	rt.Close()
 	if count.Load() != 100 {
 		t.Fatalf("executed %d of 100", count.Load())
 	}
@@ -77,7 +78,7 @@ func TestChainOrdering(t *testing.T) {
 			},
 		})
 	}
-	rt.Shutdown()
+	rt.Close()
 	if len(order) != 50 {
 		t.Fatalf("ran %d", len(order))
 	}
@@ -111,7 +112,7 @@ func TestRAWVisibility(t *testing.T) {
 			}
 		},
 	})
-	rt.Shutdown()
+	rt.Close()
 	want := 0
 	for i := 0; i < 10; i++ {
 		want += i * i
@@ -123,15 +124,24 @@ func TestRAWVisibility(t *testing.T) {
 
 func TestSubmitErrors(t *testing.T) {
 	rt := New(Config{Workers: 1})
-	if err := rt.Submit(Task{}); err == nil {
-		t.Error("task without Run accepted")
+	if _, err := rt.Submit(context.Background(), Task{}); err == nil {
+		t.Error("task without a body accepted")
 	}
-	rt.Shutdown()
-	if err := rt.Submit(Task{Run: func() {}}); err != ErrStopped {
-		t.Errorf("Submit after Shutdown = %v, want ErrStopped", err)
+	if _, err := rt.Submit(context.Background(), Task{Run: func() {}, Do: func(context.Context) error { return nil }}); err == nil {
+		t.Error("task with both Do and Run accepted")
 	}
-	rt.Shutdown() // idempotent
-	rt.Barrier()  // no-op after shutdown
+	if err := rt.Close(); err != nil {
+		t.Errorf("Close = %v", err)
+	}
+	if _, err := rt.Submit(context.Background(), Task{Run: func() {}}); err != ErrStopped {
+		t.Errorf("Submit after Close = %v, want ErrStopped", err)
+	}
+	if err := rt.Close(); err != nil { // idempotent
+		t.Errorf("second Close = %v", err)
+	}
+	if err := rt.Wait(context.Background()); err != ErrStopped {
+		t.Errorf("Wait after Close = %v, want ErrStopped", err)
+	}
 	if st := rt.Stats(); st.Submitted != 0 {
 		t.Errorf("final stats = %+v", st)
 	}
@@ -139,7 +149,7 @@ func TestSubmitErrors(t *testing.T) {
 
 func TestBarrierWaitsForAll(t *testing.T) {
 	rt := New(Config{Workers: 4})
-	defer rt.Shutdown()
+	defer rt.Close()
 	var done atomic.Int64
 	for i := 0; i < 64; i++ {
 		rt.MustSubmit(Task{
@@ -147,13 +157,13 @@ func TestBarrierWaitsForAll(t *testing.T) {
 			Run:  func() { done.Add(1) },
 		})
 	}
-	rt.Barrier()
+	rt.Wait(context.Background())
 	if done.Load() != 64 {
 		t.Fatalf("barrier returned with %d of 64 done", done.Load())
 	}
 	// The runtime stays usable after a barrier.
 	rt.MustSubmit(Task{Deps: []Dep{In("x")}, Run: func() { done.Add(1) }})
-	rt.Barrier()
+	rt.Wait(context.Background())
 	if done.Load() != 65 {
 		t.Fatal("submission after barrier did not run")
 	}
@@ -230,7 +240,7 @@ func TestHazardExclusion(t *testing.T) {
 			},
 		})
 	}
-	rt.Shutdown()
+	rt.Close()
 	if len(h.bad) > 0 {
 		t.Fatalf("hazard violations: %v", h.bad[:min(5, len(h.bad))])
 	}
@@ -276,7 +286,7 @@ func TestPrefetchOverlap(t *testing.T) {
 		},
 		Run: func() {},
 	})
-	rt.Shutdown()
+	rt.Close()
 	if !overlapped.Load() {
 		t.Fatal("no prefetch overlapped execution with double buffering")
 	}
@@ -303,7 +313,7 @@ func TestDepthOneNoPipelineOverlap(t *testing.T) {
 			},
 		})
 	}
-	rt.Shutdown()
+	rt.Close()
 	if overlapped.Load() {
 		t.Fatal("prefetch overlapped execution despite depth 1")
 	}
@@ -323,7 +333,7 @@ func TestWriteBackRuns(t *testing.T) {
 		Deps: []Dep{In("v")},
 		Run:  func() { consumed = produced },
 	})
-	rt.Shutdown()
+	rt.Close()
 	if wrote.Load() != 1 {
 		t.Fatal("WriteBack did not run")
 	}
@@ -350,7 +360,7 @@ func TestWindowBackPressure(t *testing.T) {
 	}
 	close(block)
 	<-done
-	rt.Shutdown()
+	rt.Close()
 	if got := rt.Stats().MaxInFlight; got > 4 {
 		t.Fatalf("in-flight %d exceeded window 4", got)
 	}
@@ -384,18 +394,18 @@ func TestRandomGraphsProperty(t *testing.T) {
 				deps = []Dep{In(42)}
 			}
 			norm, _ := normalizeDeps(deps)
-			if rt.Submit(Task{
+			if _, err := rt.Submit(context.Background(), Task{
 				Deps: deps,
 				Run: func() {
 					h.enter(norm)
 					defer h.exit(norm)
 					spin(50)
 				},
-			}) != nil {
+			}); err != nil {
 				return false
 			}
 		}
-		rt.Shutdown()
+		rt.Close()
 		return len(h.bad) == 0 && rt.Stats().Executed == uint64(n)
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {

@@ -66,19 +66,43 @@ func Oracle(src Source) *depgraph.Graph { return depgraph.Build(src) }
 // scheduled by the Nexus++ dependency-resolution algorithm. Its dependency
 // table is sharded into lock-striped banks (the software analogue of the
 // Nexus++ Dependence Table banks) so independent keys resolve concurrently;
-// SubmitAll admits a batch of tasks under one bank acquisition.
+// SubmitAll admits a batch of tasks under one bank acquisition. Every
+// submission returns a *Handle (the software analogue of the paper's
+// hardware task IDs) carrying the task's completion channel and error; a
+// failed, panicking or cancelled task poisons its transitive dependents,
+// which are skipped with an error wrapping ErrDependencyFailed.
 type Runtime = starss.Runtime
+
+// Handle tracks one submitted task: Done, Err, Name, Index, Wait.
+type Handle = starss.Handle
 
 // RuntimeConfig parameterises a Runtime. The Shards field sets the number
 // of dependency-table banks: 1 reproduces the single-resolver baseline, 0
 // selects a default scaled to Workers.
 type RuntimeConfig = starss.Config
 
-// Task is a unit of executable work with declared dependencies.
+// RuntimeStats reports the runtime counters, including the Failed and
+// Skipped poisoning counters.
+type RuntimeStats = starss.Stats
+
+// Task is a unit of executable work with declared dependencies. The body
+// is Do (context-aware, may fail); the legacy Run field is still accepted.
 type Task = starss.Task
 
 // Dep declares one data access of a Task.
 type Dep = starss.Dep
+
+// Runtime lifecycle errors, re-exported for errors.Is against handle and
+// Wait/Close results.
+var (
+	// ErrRuntimeStopped is returned by Submit, Wait and WaitOn after Close.
+	ErrRuntimeStopped = starss.ErrStopped
+	// ErrDependencyFailed marks a task skipped because a transitive
+	// dependency failed; the wrapping error carries the root cause.
+	ErrDependencyFailed = starss.ErrDependencyFailed
+	// ErrTaskPanicked marks a task whose body panicked.
+	ErrTaskPanicked = starss.ErrTaskPanicked
+)
 
 // In declares a read-only dependency on k.
 func In(k interface{}) Dep { return starss.In(k) }

@@ -1,6 +1,8 @@
 package nexuspp_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -56,9 +58,46 @@ func TestFacadeRuntime(t *testing.T) {
 		Deps: []nexuspp.Dep{nexuspp.In("x"), nexuspp.InOut("y")},
 		Run:  func() { order = append(order, "r"); n.Add(1) },
 	})
-	rt.Shutdown()
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
 	if n.Load() != 2 || order[0] != "w" || order[1] != "r" {
 		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestFacadeErrorPropagation(t *testing.T) {
+	rt := nexuspp.NewRuntime(nexuspp.RuntimeConfig{Workers: 2})
+	boom := errors.New("boom")
+	fail, err := rt.Submit(context.Background(), nexuspp.Task{
+		Name: "producer",
+		Deps: []nexuspp.Dep{nexuspp.Out("x")},
+		Do:   func(context.Context) error { return boom },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep := rt.MustSubmit(nexuspp.Task{
+		Deps: []nexuspp.Dep{nexuspp.In("x")},
+		Run:  func() { t.Error("dependent of failed producer ran") },
+	})
+	if err := rt.Wait(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want root cause", err)
+	}
+	if !errors.Is(fail.Err(), boom) {
+		t.Errorf("producer handle = %v", fail.Err())
+	}
+	if !errors.Is(dep.Err(), nexuspp.ErrDependencyFailed) || !errors.Is(dep.Err(), boom) {
+		t.Errorf("dependent handle = %v", dep.Err())
+	}
+	if st := rt.Stats(); st.Failed != 1 || st.Skipped != 1 {
+		t.Errorf("stats = %v", st)
+	}
+	if err := rt.Close(); !errors.Is(err, boom) {
+		t.Errorf("Close = %v", err)
+	}
+	if err := rt.Wait(context.Background()); !errors.Is(err, nexuspp.ErrRuntimeStopped) {
+		t.Errorf("Wait after Close = %v, want ErrRuntimeStopped", err)
 	}
 }
 
@@ -86,17 +125,50 @@ func ExampleNewRuntime() {
 	var block int
 	rt.MustSubmit(nexuspp.Task{
 		Deps: []nexuspp.Dep{nexuspp.Out("block")},
-		Run:  func() { block = 41 },
+		Do:   func(context.Context) error { block = 41; return nil },
 	})
 	rt.MustSubmit(nexuspp.Task{
 		Deps: []nexuspp.Dep{nexuspp.InOut("block")},
-		Run:  func() { block++ },
+		Run:  func() { block++ }, // the legacy Run form still works
 	})
-	rt.Barrier()
+	if err := rt.Wait(context.Background()); err != nil {
+		panic(err)
+	}
 	fmt.Println("block:", block)
-	rt.Shutdown()
+	rt.Close()
 	// Output:
 	// block: 42
+}
+
+// ExampleHandle shows the typed task handles — the software analogue of
+// the paper's hardware task IDs: each submission returns a *Handle whose
+// Done/Err report the task's outcome, and a failed task poisons its
+// transitive dependents, which are skipped with ErrDependencyFailed
+// wrapping the root cause.
+func ExampleHandle() {
+	rt := nexuspp.NewRuntime(nexuspp.RuntimeConfig{Workers: 2})
+	producer, _ := rt.Submit(context.Background(), nexuspp.Task{
+		Name: "producer",
+		Deps: []nexuspp.Dep{nexuspp.Out("data")},
+		Do: func(context.Context) error {
+			return errors.New("disk on fire")
+		},
+	})
+	consumer, _ := rt.Submit(context.Background(), nexuspp.Task{
+		Name: "consumer",
+		Deps: []nexuspp.Dep{nexuspp.In("data")},
+		Do:   func(context.Context) error { return nil }, // never runs
+	})
+	<-consumer.Done()
+	fmt.Println("producer:", producer.Err())
+	fmt.Println("consumer skipped:", errors.Is(consumer.Err(), nexuspp.ErrDependencyFailed))
+	fmt.Println("root cause kept:", errors.Is(consumer.Err(), producer.Err()))
+	fmt.Println("close:", rt.Close())
+	// Output:
+	// producer: disk on fire
+	// consumer skipped: true
+	// root cause kept: true
+	// close: disk on fire
 }
 
 // ExampleRuntime_SubmitAll admits a whole batch of independent tasks under
@@ -112,12 +184,17 @@ func ExampleRuntime_SubmitAll() {
 			Run:  func() { squares[i] = i * i },
 		}
 	}
-	if err := rt.SubmitAll(tasks); err != nil {
+	handles, err := rt.SubmitAll(context.Background(), tasks)
+	if err != nil {
 		panic(err)
 	}
-	rt.Barrier()
+	for _, h := range handles {
+		if err := h.Wait(context.Background()); err != nil {
+			panic(err)
+		}
+	}
 	fmt.Println(squares)
-	rt.Shutdown()
+	rt.Close()
 	// Output:
 	// [0 1 4 9 16]
 }
