@@ -1,59 +1,193 @@
-// Command nexusbench regenerates every table and figure of the Nexus++
-// paper's evaluation, plus the ablations documented in DESIGN.md.
+// Command nexusbench drives every execution engine in this repository
+// through the unified backend interface and regenerates the tables and
+// figures of the Nexus++ paper's evaluation.
 //
 // Usage:
 //
-//	nexusbench [flags] [experiment...]
+//	nexusbench run  [-backend=<name|all>] [-workload=<name>] [-workers=N] [flags]
+//	nexusbench list
+//	nexusbench exp  [flags] [experiment...]
 //
-// Experiments: table2, fig6, fig7, fig8, headline, ablation-buffering,
-// ablation-dummies, rts, nexus, cholesky, shards, all (default).
+// `run` executes one workload on one backend — or on every registered
+// backend with -backend=all — and prints one unified report row per engine:
+// tasks executed, simulated makespan or measured wall time, and tasks/s.
+// The executing runtimes replay the traced workload with synthesized task
+// bodies (see -zerocost and -timescale).
 //
-// The shards experiment exercises the executing runtime (internal/starss)
-// rather than the simulator: it contrasts single-bank and sharded
-// dependency resolution on independent-keys and contended workloads,
-// driving the sharded runtime and the retained single-maestro baseline
-// through the identical typed-handle API; its report includes the
-// runtime's Failed/Skipped poisoning counters as a health check.
+// `list` enumerates the registered backends and workloads with their
+// descriptions.
 //
-// Flags:
+// `exp` regenerates the paper's tables and figures: table2, fig6, fig7,
+// fig8, headline, ablation-buffering, ablation-dummies, ablation-ports,
+// ablation-renaming, rts, nexus, cholesky, shards, all (default). For
+// backward compatibility, invoking nexusbench with experiment names (or
+// experiment flags) and no subcommand is treated as `exp`.
 //
-//	-full      run paper-scale operating points (Gaussian n=3000/5000)
-//	-csv       emit CSV instead of aligned text
-//	-seed N    trace-generator seed (default 42)
-//	-progress  log each simulation run to stderr
+// Unknown backend, workload, or experiment names fail with an error listing
+// the valid names.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
 
+	"nexuspp/internal/backend"
+	"nexuspp/internal/core"
 	"nexuspp/internal/experiments"
 	"nexuspp/internal/report"
+	"nexuspp/internal/softrts"
+	"nexuspp/internal/starss"
 )
+
+func main() {
+	args := os.Args[1:]
+	if len(args) > 0 {
+		switch args[0] {
+		case "run":
+			os.Exit(runCmd(args[1:]))
+		case "list":
+			os.Exit(listCmd(os.Stdout))
+		case "exp":
+			os.Exit(expCmd(args[1:]))
+		case "help", "-h", "-help", "--help":
+			usage(os.Stdout)
+			os.Exit(0)
+		}
+	}
+	// Back-compat: no subcommand means the old experiment-driver CLI.
+	os.Exit(expCmd(args))
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: nexusbench run [-backend=<name|all>] [-workload=<name>] [-workers=N] [flags]")
+	fmt.Fprintln(w, "       nexusbench list")
+	fmt.Fprintln(w, "       nexusbench exp [flags] [experiment...]")
+	fmt.Fprintln(w, "run 'nexusbench list' for backends and workloads,")
+	fmt.Fprintln(w, "    'nexusbench exp unknown' for the experiment names.")
+}
+
+// runCmd executes one workload on one or all backends through the unified
+// interface and renders one report row per engine.
+func runCmd(args []string) int {
+	fs := flag.NewFlagSet("nexusbench run", flag.ExitOnError)
+	var (
+		backendName = fs.String("backend", "all", "backend name, or 'all' for every registered engine")
+		workName    = fs.String("workload", "wavefront", "workload name (see 'nexusbench list')")
+		workers     = fs.Int("workers", 8, "worker cores / goroutines")
+		seed        = fs.Uint64("seed", 42, "trace generator seed")
+		zerocost    = fs.Bool("zerocost", false, "executing runtimes: empty task bodies (pure resolver throughput)")
+		timescale   = fs.Int("timescale", 1, "executing runtimes: divide synthesized body durations")
+		shards      = fs.Int("shards", 0, "runtime backend: dependency-table banks (0 default, 1 single bank)")
+		csv         = fs.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "nexusbench run: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+
+	wl, err := backend.LookupWorkload(*workName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nexusbench run: %v\n", err)
+		return 2
+	}
+	var engines []backend.Backend
+	if *backendName == "all" {
+		engines = backend.All()
+	} else {
+		b, err := backend.Lookup(*backendName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nexusbench run: %v\n", err)
+			return 2
+		}
+		engines = []backend.Backend{b}
+	}
+
+	cfg := backend.Config{
+		Workers:   *workers,
+		ZeroCost:  *zerocost,
+		TimeScale: *timescale,
+		Shards:    *shards,
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Unified run: workload %s, %d workers", wl.Name, *workers),
+		"backend", "kind", "tasks", "makespan/wall", "tasks/s", "detail")
+	exit := 0
+	for _, b := range engines {
+		rep, err := b.Run(context.Background(), cfg, wl.New(*seed))
+		if err != nil {
+			t.AddRow(b.Name(), "-", "-", "FAILS: "+trim(err.Error(), 48), "-", "-")
+			// An engine rejecting a workload it cannot express (the original
+			// Nexus's hard structure limits surface as a FatalModelError) is
+			// a reportable outcome; anything else is a real failure.
+			var fatal core.FatalModelError
+			if !errors.As(err, &fatal) {
+				exit = 1
+			}
+			continue
+		}
+		kind := "executing"
+		if rep.Simulated {
+			kind = "simulated"
+		}
+		t.AddRow(rep.Backend, kind, rep.TasksExecuted, rep.Span(),
+			rep.Throughput(), detailOf(rep))
+	}
+	t.AddNote("simulated engines report simulated makespans; executing engines replay the trace with synthesized Go bodies and report wall time")
+	if *zerocost {
+		t.AddNote("zero-cost bodies: executing rows measure pure dependency-resolution and scheduling throughput")
+	}
+	if err := renderTable(os.Stdout, t, *csv); err != nil {
+		fmt.Fprintf(os.Stderr, "nexusbench run: %v\n", err)
+		return 1
+	}
+	return exit
+}
+
+// detailOf compresses the engine-specific typed detail into one report cell.
+func detailOf(rep *backend.Report) string {
+	switch d := rep.Detail.(type) {
+	case *starss.ReplayResult:
+		return fmt.Sprintf("hazards=%d max-in-flight=%d", d.Stats.Hazards, d.Stats.MaxInFlight)
+	case *core.Result:
+		return fmt.Sprintf("core-util=%.0f%% dummy-tds=%d", d.CoreUtilization*100, d.DummyTDs)
+	case *softrts.Result:
+		return fmt.Sprintf("core-util=%.0f%% master-util=%.0f%%", d.CoreUtilization*100, d.MasterUtilization*100)
+	default:
+		return ""
+	}
+}
+
+// listCmd enumerates registered backends and workloads with descriptions.
+func listCmd(w io.Writer) int {
+	fmt.Fprintln(w, "Backends:")
+	for _, b := range backend.All() {
+		fmt.Fprintf(w, "  %-9s %s\n", b.Name(), b.Describe())
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Workloads:")
+	for _, wl := range backend.Workloads() {
+		fmt.Fprintf(w, "  %-12s %s\n", wl.Name, wl.Description)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Experiments (nexusbench exp):")
+	fmt.Fprintf(w, "  %s\n", strings.Join(experimentNames(), ", "))
+	return 0
+}
 
 type driver struct {
 	name string
 	fn   func(experiments.Options) (*report.Table, error)
 }
 
-func main() {
-	var (
-		full     = flag.Bool("full", false, "run paper-scale operating points (minutes)")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		chart    = flag.Bool("chart", false, "also render figure experiments as text charts")
-		seed     = flag.Uint64("seed", 42, "trace generator seed")
-		progress = flag.Bool("progress", false, "log each simulation run to stderr")
-	)
-	flag.Parse()
-
-	opts := experiments.Options{Full: *full, Seed: *seed}
-	if *progress {
-		opts.Progress = os.Stderr
-	}
-
-	drivers := []driver{
+func drivers() []driver {
+	return []driver{
 		{"table2", func(o experiments.Options) (*report.Table, error) { return experiments.Table2(o), nil }},
 		{"fig6", experiments.Fig6},
 		{"fig7", experiments.Fig7},
@@ -68,24 +202,54 @@ func main() {
 		{"cholesky", experiments.Cholesky},
 		{"shards", experiments.ShardScaling},
 	}
+}
 
-	want := flag.Args()
+func experimentNames() []string {
+	var names []string
+	for _, d := range drivers() {
+		names = append(names, d.name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// expCmd is the paper-evaluation experiment driver (the original CLI).
+func expCmd(args []string) int {
+	fs := flag.NewFlagSet("nexusbench exp", flag.ExitOnError)
+	var (
+		full     = fs.Bool("full", false, "run paper-scale operating points (minutes)")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		chart    = fs.Bool("chart", false, "also render figure experiments as text charts")
+		seed     = fs.Uint64("seed", 42, "trace generator seed")
+		progress = fs.Bool("progress", false, "log each simulation run to stderr")
+	)
+	fs.Parse(args)
+
+	opts := experiments.Options{Full: *full, Seed: *seed}
+	if *progress {
+		opts.Progress = os.Stderr
+	}
+
+	all := drivers()
+	want := fs.Args()
 	if len(want) == 0 || (len(want) == 1 && want[0] == "all") {
 		want = nil
-		for _, d := range drivers {
+		for _, d := range all {
 			want = append(want, d.name)
 		}
 	}
-	byName := make(map[string]driver, len(drivers))
-	for _, d := range drivers {
+	byName := make(map[string]driver, len(all))
+	for _, d := range all {
 		byName[d.name] = d
 	}
 
 	exit := 0
-	for i, name := range want {
+	printed := false
+	for _, name := range want {
 		d, ok := byName[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "nexusbench: unknown experiment %q\n", name)
+			fmt.Fprintf(os.Stderr, "nexusbench: unknown experiment %q (valid: %s)\n",
+				name, strings.Join(experimentNames(), ", "))
 			exit = 2
 			continue
 		}
@@ -95,9 +259,10 @@ func main() {
 			exit = 1
 			continue
 		}
-		if i > 0 {
+		if printed {
 			fmt.Println()
 		}
+		printed = true
 		if err := renderTable(os.Stdout, tbl, *csv); err != nil {
 			fmt.Fprintf(os.Stderr, "nexusbench: %s: %v\n", name, err)
 			exit = 1
@@ -107,7 +272,7 @@ func main() {
 			fmt.Print(report.Chart(tbl.Title+" (chart)", 64, 16, tbl.Series...))
 		}
 	}
-	os.Exit(exit)
+	return exit
 }
 
 func renderTable(w io.Writer, t *report.Table, csv bool) error {
@@ -115,4 +280,11 @@ func renderTable(w io.Writer, t *report.Table, csv bool) error {
 		return t.RenderCSV(w)
 	}
 	return t.Render(w)
+}
+
+func trim(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
 }

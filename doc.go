@@ -9,7 +9,29 @@
 // The package itself is a thin facade over the internal packages; see
 // README.md for the architecture and DESIGN.md for the paper-to-code map.
 //
-// Simulating Nexus++:
+// One API, five engines: every execution engine — the Nexus++ simulator,
+// the original-Nexus simulator, the software-RTS model, the executing
+// sharded runtime and the single-maestro baseline — sits behind the same
+// Backend interface and returns the same Report shape, so any workload can
+// be compared across all of them:
+//
+//	for _, b := range nexuspp.Backends() {
+//		rep, err := b.Run(ctx, nexuspp.BackendConfig{Workers: 16}, nexuspp.Wavefront(42))
+//		if err != nil { // the original Nexus may reject a workload outright
+//			fmt.Println(b.Name(), "FAILS:", err)
+//			continue
+//		}
+//		fmt.Println(rep.Backend, rep.TasksExecuted, rep.Span())
+//	}
+//
+// The executing engines replay the traced workload for real: each traced
+// task becomes a Go closure whose dependencies are the trace's parameter
+// list and whose body is synthesized from the trace's timing (or empty
+// under BackendConfig.ZeroCost), so the real runtime's schedules can be
+// cross-validated against the oracle and the simulators on the paper's own
+// workloads. Custom traces run through nexuspp.FromSpecs.
+//
+// Simulating Nexus++ directly (full hardware-parameter control):
 //
 //	cfg := nexuspp.DefaultConfig(64)            // 64 worker cores, Table IV defaults
 //	res, err := nexuspp.Simulate(cfg, nexuspp.Wavefront(42))

@@ -1,0 +1,47 @@
+package nexuspp_test
+
+import (
+	"context"
+	"fmt"
+
+	"nexuspp"
+)
+
+// ExampleBackend runs one custom traced workload on two engines — the
+// Nexus++ simulator and the real executing runtime — through the unified
+// backend API, and cross-validates both against the dependency-graph
+// oracle: every engine must execute exactly the oracle's task count, and
+// no simulated schedule may beat the oracle's critical path.
+func ExampleBackend() {
+	// A three-task chain: produce block 0x100, transform it into 0x200,
+	// consume 0x200. FromSpecs turns any []TaskSpec into a Source every
+	// backend accepts.
+	specs := []nexuspp.TaskSpec{
+		{ID: 0, Params: []nexuspp.Param{{Addr: 0x100, Size: 64, Mode: nexuspp.WriteOnly}}, Exec: 1000},
+		{ID: 1, Params: []nexuspp.Param{
+			{Addr: 0x100, Size: 64, Mode: nexuspp.ReadOnly},
+			{Addr: 0x200, Size: 64, Mode: nexuspp.WriteOnly},
+		}, Exec: 1000},
+		{ID: 2, Params: []nexuspp.Param{{Addr: 0x200, Size: 64, Mode: nexuspp.ReadOnly}}, Exec: 1000},
+	}
+	src := func() nexuspp.Source { return nexuspp.FromSpecs("chain", specs) }
+
+	oracle := nexuspp.Oracle(src()).Analyze()
+	for _, name := range []string{"nexuspp", "runtime"} {
+		b, err := nexuspp.LookupBackend(name)
+		if err != nil {
+			panic(err)
+		}
+		rep, err := b.Run(context.Background(),
+			nexuspp.BackendConfig{Workers: 2, ZeroCost: true}, src())
+		if err != nil {
+			panic(err)
+		}
+		ok := !rep.Simulated || rep.Makespan >= oracle.CriticalPath
+		fmt.Printf("%s: executed %d tasks, oracle-consistent: %v\n",
+			rep.Backend, rep.TasksExecuted, ok)
+	}
+	// Output:
+	// nexuspp: executed 3 tasks, oracle-consistent: true
+	// runtime: executed 3 tasks, oracle-consistent: true
+}

@@ -1,0 +1,91 @@
+package backend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nexuspp/internal/workload"
+)
+
+// WorkloadInfo is one named entry of the workload registry: a constructor
+// plus a one-line description for listings.
+type WorkloadInfo struct {
+	// Name is the registry key (flag-friendly).
+	Name string
+	// Description is the one-line listing text.
+	Description string
+	// New builds a fresh source; seed drives the synthetic generators
+	// (deterministic workloads ignore it).
+	New func(seed uint64) workload.Source
+}
+
+// workloads is the static registry of named evaluation workloads — the
+// paper's Figure 4 patterns, its Gaussian graph, and the Cholesky extension.
+var workloads = map[string]WorkloadInfo{
+	"independent": {
+		Name:        "independent",
+		Description: "8160 H.264-sized tasks, no dependencies (paper Figure 4, independent)",
+		New:         workload.Independent,
+	},
+	"wavefront": {
+		Name:        "wavefront",
+		Description: "H.264 macroblock wavefront, 8160 tasks (paper Figure 4a)",
+		New:         workload.Wavefront,
+	},
+	"horizontal": {
+		Name:        "horizontal",
+		Description: "horizontal chains along the task-generation order (paper Figure 4b)",
+		New:         workload.HorizontalChains,
+	},
+	"vertical": {
+		Name:        "vertical",
+		Description: "vertical chains across the task-generation order (paper Figure 4c)",
+		New:         workload.VerticalChains,
+	},
+	"gaussian": {
+		Name:        "gaussian",
+		Description: "Gaussian elimination with partial pivoting, n=250, 31374 tasks (paper Figure 5 / Table II)",
+		New: func(uint64) workload.Source {
+			return workload.Gaussian(workload.GaussianConfig{N: 250})
+		},
+	},
+	"cholesky": {
+		Name:        "cholesky",
+		Description: "tiled Cholesky factorisation, 16x16 tiles of 32 (DESIGN.md extension workload)",
+		New: func(uint64) workload.Source {
+			return workload.Cholesky(workload.CholeskyConfig{Tiles: 16, TileSize: 32})
+		},
+	},
+}
+
+// Workloads returns every registered workload sorted by name.
+func Workloads() []WorkloadInfo {
+	out := make([]WorkloadInfo, 0, len(workloads))
+	for _, w := range workloads {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WorkloadNames returns the sorted registered workload names.
+func WorkloadNames() []string {
+	names := make([]string, 0, len(workloads))
+	for name := range workloads {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LookupWorkload resolves a workload by name; an unknown name fails with an
+// error listing every valid name.
+func LookupWorkload(name string) (WorkloadInfo, error) {
+	w, ok := workloads[name]
+	if !ok {
+		return WorkloadInfo{}, fmt.Errorf("backend: unknown workload %q (valid: %s)",
+			name, strings.Join(WorkloadNames(), ", "))
+	}
+	return w, nil
+}

@@ -1,51 +1,75 @@
 package experiments
 
+// The cross-engine comparison drivers. They are written entirely against
+// the unified backend interface (internal/backend): every engine is
+// resolved from the registry by name and driven through the same
+// Run(ctx, Config, Source) entry point, so the drivers contain no
+// engine-specific wiring — the architecture the paper's comparative claims
+// ask for.
+
 import (
+	"context"
 	"fmt"
 
-	"nexuspp/internal/core"
+	"nexuspp/internal/backend"
 	"nexuspp/internal/nexus1"
 	"nexuspp/internal/report"
-	"nexuspp/internal/softrts"
 	"nexuspp/internal/workload"
 )
+
+// mustBackend resolves a registered backend; the names used by the drivers
+// are pinned by the backend package's own tests.
+func mustBackend(name string) backend.Backend {
+	b, err := backend.Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// runOn executes src on the named backend with the given worker count,
+// logging progress like every other driver.
+func (o *Options) runOn(b backend.Backend, workers int, src workload.Source) (*backend.Report, error) {
+	o.logf("run %-28s workers=%-3d backend=%s", src.Name(), workers, b.Name())
+	return b.Run(context.Background(), backend.Config{Workers: workers}, src)
+}
 
 // RTSComparison contrasts the software StarSs runtime with Nexus++ on the
 // H.264 workload — the paper's motivation (SSI): the software RTS "cannot
 // compute task dependencies and attend to finished tasks fast enough to
-// keep all worker cores busy".
+// keep all worker cores busy". Both engines are driven through the unified
+// backend interface.
 func RTSComparison(opts Options) (*report.Table, error) {
-	r := newRunner(&opts)
+	sw := mustBackend("softrts")
+	hw := mustBackend("nexuspp")
 	t := report.NewTable(
 		"Motivation: software StarSs RTS vs Nexus++ (speedup vs 1 core of the same system)",
 		"workload", "cores", "software RTS", "Nexus++", "HW/SW makespan ratio")
 	for _, pat := range []workload.Pattern{workload.PatternIndependent, workload.PatternWavefront} {
-		pat := pat
 		mk := func() workload.Source {
 			return workload.Grid(workload.GridConfig{Pattern: pat, Seed: opts.seed()})
 		}
-		swBase, err := softrts.Run(softrts.DefaultConfig(1), mk())
+		swBase, err := opts.runOn(sw, 1, mk())
 		if err != nil {
 			return nil, err
 		}
-		hwBase, err := r.baseline("rts-"+pat.String(), core.DefaultConfig(1), mk)
+		hwBase, err := opts.runOn(hw, 1, mk())
 		if err != nil {
 			return nil, err
 		}
 		for _, cores := range []int{4, 16, 64} {
-			opts.logf("run %-28s workers=%-3d software RTS", mk().Name(), cores)
-			sw, err := softrts.Run(softrts.DefaultConfig(cores), mk())
+			swRes, err := opts.runOn(sw, cores, mk())
 			if err != nil {
 				return nil, err
 			}
-			hw, err := r.run(core.DefaultConfig(cores), mk(), "")
+			hwRes, err := opts.runOn(hw, cores, mk())
 			if err != nil {
 				return nil, err
 			}
 			t.AddRow(pat.String(), cores,
-				float64(swBase.Makespan)/float64(sw.Makespan),
-				float64(hwBase)/float64(hw.Makespan),
-				float64(sw.Makespan)/float64(hw.Makespan))
+				float64(swBase.Makespan)/float64(swRes.Makespan),
+				float64(hwBase.Makespan)/float64(hwRes.Makespan),
+				float64(swRes.Makespan)/float64(hwRes.Makespan))
 		}
 	}
 	t.AddNote("the Nexus paper reported a 4.3x scalability improvement at 16 worker cores for an H.264-like workload")
@@ -53,10 +77,11 @@ func RTSComparison(opts Options) (*report.Table, error) {
 }
 
 // Cholesky is an extension experiment: the canonical StarSs tiled Cholesky
-// factorisation on Nexus++, the original Nexus and the software RTS, as a
-// dense-linear-algebra counterpart to the paper's Gaussian graph.
+// factorisation on Nexus++ and the software RTS, as a dense-linear-algebra
+// counterpart to the paper's Gaussian graph.
 func Cholesky(opts Options) (*report.Table, error) {
-	r := newRunner(&opts)
+	sw := mustBackend("softrts")
+	hw := mustBackend("nexuspp")
 	cores := opts.Cores
 	if cores == nil {
 		cores = []int{2, 4, 8, 16, 32, 64}
@@ -66,7 +91,6 @@ func Cholesky(opts Options) (*report.Table, error) {
 	// runtime; fine 16x16 tiles (gemm ~4us) expose the software RTS's
 	// per-task cost — the paper's fine-grained-task argument.
 	for _, b := range []int{64, 16} {
-		b := b
 		tiles := 24
 		if b == 16 {
 			tiles = 32
@@ -74,30 +98,29 @@ func Cholesky(opts Options) (*report.Table, error) {
 		mk := func() workload.Source {
 			return workload.Cholesky(workload.CholeskyConfig{Tiles: tiles, TileSize: b})
 		}
-		t1, err := r.baseline(fmt.Sprintf("cholesky-%d", b), core.DefaultConfig(1), mk)
+		hwBase, err := opts.runOn(hw, 1, mk())
 		if err != nil {
 			return nil, err
 		}
-		swBase, err := softrts.Run(softrts.DefaultConfig(1), mk())
+		swBase, err := opts.runOn(sw, 1, mk())
 		if err != nil {
 			return nil, err
 		}
 		plus := &report.Series{Name: fmt.Sprintf("Nexus++ b=%d", b)}
-		sw := &report.Series{Name: fmt.Sprintf("software b=%d", b)}
+		soft := &report.Series{Name: fmt.Sprintf("software b=%d", b)}
 		for _, c := range cores {
-			res, err := r.run(core.DefaultConfig(c), mk(), "")
+			res, err := opts.runOn(hw, c, mk())
 			if err != nil {
 				return nil, err
 			}
-			plus.Add(float64(c), float64(t1)/float64(res.Makespan))
-			opts.logf("run %-28s workers=%-3d software RTS", mk().Name(), c)
-			s, err := softrts.Run(softrts.DefaultConfig(c), mk())
+			plus.Add(float64(c), float64(hwBase.Makespan)/float64(res.Makespan))
+			s, err := opts.runOn(sw, c, mk())
 			if err != nil {
 				return nil, err
 			}
-			sw.Add(float64(c), float64(swBase.Makespan)/float64(s.Makespan))
+			soft.Add(float64(c), float64(swBase.Makespan)/float64(s.Makespan))
 		}
-		series = append(series, plus, sw)
+		series = append(series, plus, soft)
 	}
 	t := report.SeriesTable(
 		"Extension: tiled Cholesky speedup vs 1 core (coarse 64x64 and fine 16x16 tiles)",
@@ -106,30 +129,31 @@ func Cholesky(opts Options) (*report.Table, error) {
 	return t, nil
 }
 
-// NexusComparison contrasts the original Nexus (nexus1) with Nexus++ on
-// workloads both can execute, and reports which workloads Nexus rejects.
+// NexusComparison contrasts the original Nexus with Nexus++ on workloads
+// both can execute, and reports which workloads Nexus rejects. Both are
+// configurations of the shared hardware model, resolved from the backend
+// registry.
 func NexusComparison(opts Options) (*report.Table, error) {
-	r := newRunner(&opts)
+	old := mustBackend("nexus")
+	plus := mustBackend("nexuspp")
 	t := report.NewTable(
 		"Nexus vs Nexus++ (16 cores)",
 		"workload", "Nexus", "Nexus++", "Nexus++ advantage")
 	for _, pat := range []workload.Pattern{workload.PatternIndependent, workload.PatternWavefront} {
-		pat := pat
 		mk := func() workload.Source {
 			return workload.Grid(workload.GridConfig{Pattern: pat, Seed: opts.seed()})
 		}
-		opts.logf("run %-28s workers=16  original Nexus", mk().Name())
-		old, err := nexus1.Run(16, mk())
+		oldRes, err := opts.runOn(old, 16, mk())
 		if err != nil {
 			t.AddRow(pat.String(), "FAILS: "+trim(err.Error(), 40), "-", "-")
 			continue
 		}
-		plus, err := r.run(core.DefaultConfig(16), mk(), "")
+		plusRes, err := opts.runOn(plus, 16, mk())
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(pat.String(), old.Makespan.String(), plus.Makespan.String(),
-			float64(old.Makespan)/float64(plus.Makespan))
+		t.AddRow(pat.String(), oldRes.Makespan.String(), plusRes.Makespan.String(),
+			float64(oldRes.Makespan)/float64(plusRes.Makespan))
 	}
 	// Gaussian with the full partial-pivoting data flow: the pivot tasks'
 	// parameter lists exceed Nexus's fixed limit of 5, so Nexus statically
@@ -141,11 +165,11 @@ func NexusComparison(opts Options) (*report.Table, error) {
 	if ok, reason := nexus1.Supports(fullPivot()); ok {
 		t.AddNote("unexpected: Nexus claims to support the full-pivot Gaussian workload")
 	} else {
-		plus, perr := r.run(core.DefaultConfig(16), fullPivot(), "")
+		plusRes, perr := opts.runOn(plus, 16, fullPivot())
 		if perr != nil {
 			return nil, perr
 		}
-		t.AddRow("gaussian-60 full pivot", "FAILS: "+trim(reason, 40), plus.Makespan.String(), "runs at all")
+		t.AddRow("gaussian-60 full pivot", "FAILS: "+trim(reason, 40), plusRes.Makespan.String(), "runs at all")
 	}
 	// Chained Gaussian: within Nexus's parameter limit, but its kick-off
 	// lists may overflow dynamically depending on timing; report whatever
@@ -153,16 +177,15 @@ func NexusComparison(opts Options) (*report.Table, error) {
 	gauss := func() workload.Source {
 		return workload.Gaussian(workload.GaussianConfig{N: 250})
 	}
-	opts.logf("run %-28s workers=16  original Nexus", gauss().Name())
-	plus, perr := r.run(core.DefaultConfig(16), gauss(), "")
+	plusRes, perr := opts.runOn(plus, 16, gauss())
 	if perr != nil {
 		return nil, perr
 	}
-	if old, err := nexus1.Run(16, gauss()); err != nil {
-		t.AddRow("gaussian-250", "FAILS: "+trim(err.Error(), 40), plus.Makespan.String(), "runs at all")
+	if oldRes, err := opts.runOn(old, 16, gauss()); err != nil {
+		t.AddRow("gaussian-250", "FAILS: "+trim(err.Error(), 40), plusRes.Makespan.String(), "runs at all")
 	} else {
-		t.AddRow("gaussian-250", old.Makespan.String(), plus.Makespan.String(),
-			float64(old.Makespan)/float64(plus.Makespan))
+		t.AddRow("gaussian-250", oldRes.Makespan.String(), plusRes.Makespan.String(),
+			float64(oldRes.Makespan)/float64(plusRes.Makespan))
 	}
 	t.AddNote("double buffering and cheaper table accesses give Nexus++ its advantage even on workloads Nexus supports")
 	return t, nil

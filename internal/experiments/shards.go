@@ -4,19 +4,22 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sync"
-	"time"
 
+	"nexuspp/internal/backend"
 	"nexuspp/internal/report"
 	"nexuspp/internal/starss"
+	"nexuspp/internal/trace"
+	"nexuspp/internal/workload"
 )
 
-// ShardScaling measures the executing runtime's Submit→completion
-// throughput under three dependency resolvers: the retained single-maestro
-// baseline (every submit and finish funnels through one resolver goroutine
-// — the software bottleneck of the paper's SSI motivation), the sharded
-// table clamped to one bank, and the sharded default. Independent keys is
-// the workload sharding exists for; a single contended key is serial by
+// ShardScaling measures the executing runtime's replay throughput under
+// three dependency resolvers, all driven through the unified backend
+// interface in zero-cost mode (empty task bodies, so the resolver is the
+// only cost): the retained single-maestro baseline backend (every submit
+// and finish funnels through one resolver goroutine — the software
+// bottleneck of the paper's SSI motivation), the sharded runtime backend
+// clamped to one bank, and the sharded default. Striped keys is the
+// workload sharding exists for; a single contended key is serial by
 // construction and bounds what any resolver can do.
 func ShardScaling(opts Options) (*report.Table, error) {
 	tasks := 100_000
@@ -30,47 +33,66 @@ func ShardScaling(opts Options) (*report.Table, error) {
 			cores = append(cores, 16)
 		}
 	}
-	resolvers := []struct {
-		name string
-		mk   func(w int) starss.TaskRuntime
-	}{
-		{"maestro", func(w int) starss.TaskRuntime {
-			return starss.NewMaestro(starss.Config{Workers: w, Window: 4096})
-		}},
-		{"1 bank", func(w int) starss.TaskRuntime {
-			return starss.New(starss.Config{Workers: w, Shards: 1, Window: 4096})
-		}},
-		{"sharded", func(w int) starss.TaskRuntime {
-			return starss.New(starss.Config{Workers: w, Window: 4096})
-		}},
+	type resolver struct {
+		name   string
+		b      backend.Backend
+		shards int
 	}
+	maestro := mustBackend("maestro")
+	sharded := mustBackend("runtime")
+	resolvers := []resolver{
+		{"maestro", maestro, 0},
+		{"1 bank", sharded, 1},
+		{"sharded", sharded, 0},
+	}
+	run := func(r resolver, workers int, src workload.Source) (float64, starss.Stats, error) {
+		opts.logf("run %-28s workers=%-3d resolver=%s", src.Name(), workers, r.name)
+		rep, err := r.b.Run(context.Background(), backend.Config{
+			Workers:  workers,
+			ZeroCost: true,
+			Shards:   r.shards,
+		}, src)
+		if err != nil {
+			return 0, starss.Stats{}, err
+		}
+		detail, ok := rep.Detail.(*starss.ReplayResult)
+		if !ok {
+			return 0, starss.Stats{}, fmt.Errorf("shard scaling: %s reported %T, want *starss.ReplayResult", r.name, rep.Detail)
+		}
+		return rep.Throughput(), detail.Stats, nil
+	}
+
 	t := report.NewTable(
-		fmt.Sprintf("Dependency-resolution scaling: single maestro vs sharded banks (%d empty tasks, tasks/s)", tasks),
-		"workers", "maestro indep", "1-bank indep", "sharded indep", "speedup vs maestro",
+		fmt.Sprintf("Dependency-resolution scaling: single maestro vs sharded banks (%d striped / %d contended empty tasks replayed, tasks/s)", tasks, tasks/10),
+		"workers", "maestro striped", "1-bank striped", "sharded striped", "speedup vs maestro",
 		"maestro contended", "sharded contended")
 	var health starss.Stats
 	for _, w := range cores {
-		row := []interface{}{w}
-		var indep []float64
+		row := []any{w}
+		var striped []float64
 		for _, r := range resolvers {
-			opts.logf("run shard-scaling            workers=%-3d resolver=%-8s independent", w, r.name)
-			thr, st := measureThroughput(r.mk(w), w, tasks, false)
+			thr, st, err := run(r, w, stripedSource(tasks, 4096))
+			if err != nil {
+				return nil, err
+			}
 			accumulate(&health, st)
-			indep = append(indep, thr)
+			striped = append(striped, thr)
 			row = append(row, thr)
 		}
-		row = append(row, indep[2]/indep[0])
-		for _, r := range []int{0, 2} {
-			opts.logf("run shard-scaling            workers=%-3d resolver=%-8s contended", w, resolvers[r].name)
-			thr, st := measureThroughput(resolvers[r].mk(w), w, tasks, true)
+		row = append(row, striped[2]/striped[0])
+		for _, i := range []int{0, 2} {
+			thr, st, err := run(resolvers[i], w, contendedSource(tasks/10))
+			if err != nil {
+				return nil, err
+			}
 			accumulate(&health, st)
 			row = append(row, thr)
 		}
 		t.AddRow(row...)
 	}
-	t.AddNote("maestro: the original resolver goroutine, two synchronous channel rendezvous per task (the serialization the paper motivates against)")
-	t.AddNote("independent keys: each submitter owns a disjoint key range, the resolver itself is the bottleneck; sharded banks remove it")
-	t.AddNote("contended: every task InOuts one key, the dependency chain is serial and no resolver design can help")
+	t.AddNote("maestro: the original resolver goroutine, a synchronous channel rendezvous per submit and per finish (the serialization the paper motivates against); it has no batch admission")
+	t.AddNote("striped keys: 4096 independent InOut chains, the resolver itself is the bottleneck; sharded banks plus batch admission remove it")
+	t.AddNote("contended: every task InOuts one key (1/10th the task count — the chain is serial by construction), no resolver design can help; tasks/s stays comparable")
 	t.AddNote("runtime health across all runs: %v (failed/skipped must be 0 on this workload)", health)
 	if health.Failed != 0 || health.Skipped != 0 {
 		return nil, fmt.Errorf("shard scaling: tasks failed or were skipped: %v", health)
@@ -91,37 +113,29 @@ func accumulate(total *starss.Stats, st starss.Stats) {
 	}
 }
 
-// measureThroughput runs `tasks` empty tasks through rt with `submitters`
-// goroutines and returns tasks per second (drain included) plus the final
-// runtime counters.
-func measureThroughput(rt starss.TaskRuntime, submitters, tasks int, contended bool) (float64, starss.Stats) {
-	per := tasks / submitters
-	start := time.Now()
-	var wg sync.WaitGroup
-	for g := 0; g < submitters; g++ {
-		g := g
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := 0; i < per; i++ {
-				var dep starss.Dep
-				if contended {
-					dep = starss.InOut("hot")
-				} else {
-					dep = starss.InOut([2]int{g, i % 512})
-				}
-				rt.MustSubmit(starss.Task{Deps: []starss.Dep{dep}, Run: func() {}})
-			}
-		}()
+// stripedSource builds n empty tasks spread across k InOut key chains: keys
+// in different banks resolve concurrently, so it exposes resolver
+// parallelism without any real work.
+func stripedSource(n, k int) workload.Source {
+	tasks := make([]trace.TaskSpec, n)
+	for i := range tasks {
+		tasks[i] = trace.TaskSpec{
+			ID:     uint64(i),
+			Params: []trace.Param{{Addr: uint64(i%k)*64 + 64, Size: 4, Mode: trace.InOut}},
+		}
 	}
-	wg.Wait()
-	if err := rt.Wait(context.Background()); err != nil {
-		panic(err)
+	return workload.FromTrace(&trace.Trace{Name: fmt.Sprintf("striped-%d", k), Tasks: tasks})
+}
+
+// contendedSource builds n empty tasks all InOut-ing a single key: one
+// serial dependency chain, the resolver-design-independent lower bound.
+func contendedSource(n int) workload.Source {
+	tasks := make([]trace.TaskSpec, n)
+	for i := range tasks {
+		tasks[i] = trace.TaskSpec{
+			ID:     uint64(i),
+			Params: []trace.Param{{Addr: 0x40, Size: 4, Mode: trace.InOut}},
+		}
 	}
-	thr := float64(per*submitters) / time.Since(start).Seconds()
-	st := rt.Stats()
-	if err := rt.Close(); err != nil {
-		panic(err)
-	}
-	return thr, st
+	return workload.FromTrace(&trace.Trace{Name: "contended", Tasks: tasks})
 }

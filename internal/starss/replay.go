@@ -1,0 +1,180 @@
+package starss
+
+// This file is the bridge between the traced-workload world (internal/trace,
+// internal/workload) and the executing runtime: it replays any workload.Source
+// on a real TaskRuntime by synthesizing task bodies from the trace's timing.
+// For the first time the real runtime's schedules can be cross-validated
+// against the dependency-graph oracle and the Nexus++ simulator on the
+// paper's own workloads — the same trace drives every engine.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"nexuspp/internal/sim"
+	"nexuspp/internal/trace"
+	"nexuspp/internal/workload"
+)
+
+// ReplayOptions controls how traced timing maps onto synthesized bodies.
+type ReplayOptions struct {
+	// ZeroCost replaces every task body with an empty function, so a replay
+	// measures pure dependency-resolution and scheduling throughput.
+	ZeroCost bool
+	// TimeScale divides every synthesized duration: 1 (or 0) replays the
+	// trace's timing unscaled, 10 replays ten times faster. Ignored when
+	// ZeroCost is set.
+	TimeScale int
+	// BatchSize is the SubmitAll chunk size on runtimes that support batch
+	// admission; 0 selects 256. Runtimes without SubmitAll (the maestro
+	// baseline) always admit one task at a time.
+	BatchSize int
+}
+
+// ReplayResult reports one replay of a traced workload on a real runtime.
+type ReplayResult struct {
+	// Workload is the source's name.
+	Workload string
+	// Wall is the measured wall-clock time from the first admission until
+	// the final barrier returned.
+	Wall time.Duration
+	// Stats covers this replay only: the counters are the difference of the
+	// runtime's snapshots around the replay, so several replays sharing one
+	// runtime each report their own counts. MaxInFlight is the runtime's
+	// high-water mark, which cannot be attributed to one replay.
+	Stats Stats
+}
+
+// statsDelta subtracts the monotonic counters of before from after.
+func statsDelta(before, after Stats) Stats {
+	return Stats{
+		Submitted:   after.Submitted - before.Submitted,
+		Executed:    after.Executed - before.Executed,
+		Failed:      after.Failed - before.Failed,
+		Skipped:     after.Skipped - before.Skipped,
+		Hazards:     after.Hazards - before.Hazards,
+		MaxInFlight: after.MaxInFlight,
+	}
+}
+
+// batchSubmitter is implemented by runtimes with batch admission (the
+// sharded Runtime); the maestro baseline intentionally lacks it.
+type batchSubmitter interface {
+	SubmitAll(ctx context.Context, tasks []Task) ([]*Handle, error)
+}
+
+// durationOf converts a simulated time into wall-clock time.
+func durationOf(t sim.Time) time.Duration {
+	return time.Duration(t / sim.Nanosecond)
+}
+
+// TaskFromSpec synthesizes an executable Task from one traced task: the
+// parameter list becomes In/Out/InOut dependencies keyed by base address,
+// and the body sleeps for the traced execution plus memory time (scaled by
+// opts.TimeScale) or does nothing under ZeroCost.
+func TaskFromSpec(spec trace.TaskSpec, opts ReplayOptions) Task {
+	deps := make([]Dep, len(spec.Params))
+	for i, p := range spec.Params {
+		switch {
+		case p.Mode == trace.In:
+			deps[i] = In(p.Addr)
+		case p.Mode == trace.Out:
+			deps[i] = Out(p.Addr)
+		default:
+			deps[i] = InOut(p.Addr)
+		}
+	}
+	// No Name: the runtime derives "task<index>" on demand, and the
+	// submission index equals the trace ID under in-order replay; a
+	// per-task Sprintf would tax the feeder inside the timed region of the
+	// resolver-throughput experiments.
+	t := Task{Deps: deps}
+	if opts.ZeroCost {
+		t.Do = func(ctx context.Context) error { return ctx.Err() }
+		return t
+	}
+	scale := opts.TimeScale
+	if scale < 1 {
+		scale = 1
+	}
+	d := durationOf(spec.Exec+spec.MemRead+spec.MemWrite) / time.Duration(scale)
+	t.Do = func(ctx context.Context) error { return sleepFor(ctx, d) }
+	return t
+}
+
+// sleepFor blocks for d, honouring cancellation.
+func sleepFor(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Replay runs src to completion on rt: every traced task is admitted in
+// submission order with its parameter list as dependencies and a body
+// synthesized from its timing, then Replay waits for the final barrier. The
+// runtime is left open (the caller owns its lifecycle), so several replays
+// can share one runtime as long as their key spaces are disjoint or drained.
+//
+// Sharded runtimes are fed through SubmitAll in chunks; the single-maestro
+// baseline, which has no batch admission, is fed one task at a time —
+// exactly the serialization it exists to measure.
+func Replay(ctx context.Context, rt TaskRuntime, src workload.Source, opts ReplayOptions) (*ReplayResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	batch := opts.BatchSize
+	if batch <= 0 {
+		batch = 256
+	}
+	src.Reset()
+	before := rt.Stats()
+	start := time.Now()
+	if bs, ok := rt.(batchSubmitter); ok {
+		buf := make([]Task, 0, batch)
+		for {
+			spec, ok := src.Next()
+			if !ok {
+				break
+			}
+			buf = append(buf, TaskFromSpec(spec, opts))
+			if len(buf) == batch {
+				if _, err := bs.SubmitAll(ctx, buf); err != nil {
+					return nil, fmt.Errorf("starss: replay %s: %w", src.Name(), err)
+				}
+				buf = buf[:0]
+			}
+		}
+		if len(buf) > 0 {
+			if _, err := bs.SubmitAll(ctx, buf); err != nil {
+				return nil, fmt.Errorf("starss: replay %s: %w", src.Name(), err)
+			}
+		}
+	} else {
+		for {
+			spec, ok := src.Next()
+			if !ok {
+				break
+			}
+			if _, err := rt.Submit(ctx, TaskFromSpec(spec, opts)); err != nil {
+				return nil, fmt.Errorf("starss: replay %s: %w", src.Name(), err)
+			}
+		}
+	}
+	if err := rt.Wait(ctx); err != nil {
+		return nil, fmt.Errorf("starss: replay %s: %w", src.Name(), err)
+	}
+	return &ReplayResult{
+		Workload: src.Name(),
+		Wall:     time.Since(start),
+		Stats:    statsDelta(before, rt.Stats()),
+	}, nil
+}

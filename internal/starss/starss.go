@@ -75,7 +75,7 @@ func (m Mode) String() string {
 
 // Key identifies a piece of data. Keys are compared with ==; any comparable
 // value works (strings, ints, pointers, small structs).
-type Key interface{}
+type Key = any
 
 // Dep declares one data access of a task.
 type Dep struct {

@@ -1,12 +1,56 @@
 package nexuspp
 
 import (
+	"nexuspp/internal/backend"
 	"nexuspp/internal/core"
 	"nexuspp/internal/depgraph"
 	"nexuspp/internal/starss"
 	"nexuspp/internal/trace"
 	"nexuspp/internal/workload"
 )
+
+// --- Unified backend API -------------------------------------------------
+
+// Backend is one execution engine driving a traced workload to completion
+// behind the unified API: Name, Describe, and
+// Run(ctx, BackendConfig, Source) -> *Report. Five engines are registered:
+//
+//	nexuspp  the Nexus++ hardware simulator (the paper's SSIII model)
+//	nexus    the original-Nexus simulator (hard limits; may reject workloads)
+//	softrts  the software StarSs runtime model
+//	runtime  the executing sharded runtime replaying the trace for real
+//	maestro  the executing single-resolver baseline
+type Backend = backend.Backend
+
+// BackendConfig is the engine-independent run configuration; engines ignore
+// the knobs that do not apply to them.
+type BackendConfig = backend.Config
+
+// Report is the unified result shape shared by all five engines: tasks
+// executed, a simulated makespan or a measured wall time, and a typed
+// Detail with the engine's native result.
+type Report = backend.Report
+
+// WorkloadInfo is one named entry of the workload registry.
+type WorkloadInfo = backend.WorkloadInfo
+
+// Backends returns every registered backend sorted by name.
+func Backends() []Backend { return backend.All() }
+
+// LookupBackend resolves a backend by name; an unknown name fails with an
+// error listing every valid name.
+func LookupBackend(name string) (Backend, error) { return backend.Lookup(name) }
+
+// RegisterBackend adds a custom engine to the registry; it panics on a
+// duplicate or empty name.
+func RegisterBackend(b Backend) { backend.Register(b) }
+
+// Workloads returns the registered named workloads sorted by name.
+func Workloads() []WorkloadInfo { return backend.Workloads() }
+
+// LookupWorkload resolves a named workload; an unknown name fails with an
+// error listing every valid name.
+func LookupWorkload(name string) (WorkloadInfo, error) { return backend.LookupWorkload(name) }
 
 // --- Hardware simulation -----------------------------------------------
 
@@ -37,6 +81,20 @@ type TaskSpec = trace.TaskSpec
 // Param is one entry of a task's input/output list.
 type Param = trace.Param
 
+// AccessMode is the declared direction of a task parameter.
+type AccessMode = trace.AccessMode
+
+// Access modes for building Params (the In/Out/InOut names are taken by the
+// runtime's Dep constructors).
+const (
+	// ReadOnly marks a parameter the task only reads.
+	ReadOnly = trace.In
+	// WriteOnly marks a parameter the task only writes.
+	WriteOnly = trace.Out
+	// ReadWrite marks a parameter the task reads and writes.
+	ReadWrite = trace.InOut
+)
+
 // Independent returns the paper's independent-task benchmark (8160
 // H.264-sized tasks, no dependencies).
 func Independent(seed uint64) Source { return workload.Independent(seed) }
@@ -59,6 +117,18 @@ func GaussianElimination(n int) Source {
 // Oracle builds the reference dependency graph of a workload; its analyses
 // bound every achievable speedup and validate simulated schedules.
 func Oracle(src Source) *depgraph.Graph { return depgraph.Build(src) }
+
+// FromSpecs builds a Source replaying the given task specs in order, so
+// callers can run custom traced workloads on any backend without touching
+// the internal workload package. The name identifies the workload in
+// reports; empty selects "custom". The specs should have sequential IDs
+// starting at 0 (the dependency-graph oracle indexes by ID).
+func FromSpecs(name string, specs []TaskSpec) Source {
+	if name == "" {
+		name = "custom"
+	}
+	return workload.FromTrace(&trace.Trace{Name: name, Tasks: specs})
+}
 
 // --- Executing runtime ----------------------------------------------------
 
@@ -105,13 +175,13 @@ var (
 )
 
 // In declares a read-only dependency on k.
-func In(k interface{}) Dep { return starss.In(k) }
+func In(k any) Dep { return starss.In(k) }
 
 // Out declares a write-only dependency on k.
-func Out(k interface{}) Dep { return starss.Out(k) }
+func Out(k any) Dep { return starss.Out(k) }
 
 // InOut declares a read-write dependency on k.
-func InOut(k interface{}) Dep { return starss.InOut(k) }
+func InOut(k any) Dep { return starss.InOut(k) }
 
 // NewRuntime starts an executing runtime.
 func NewRuntime(cfg RuntimeConfig) *Runtime { return starss.New(cfg) }

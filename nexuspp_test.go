@@ -211,3 +211,51 @@ func TestSimulationMatchesOracleBound(t *testing.T) {
 		t.Fatalf("makespan %v beats the critical path %v", res.Makespan, an.CriticalPath)
 	}
 }
+
+func TestFacadeBackendRegistry(t *testing.T) {
+	all := nexuspp.Backends()
+	if len(all) != 5 {
+		t.Fatalf("Backends() returned %d engines, want 5", len(all))
+	}
+	for _, b := range all {
+		if _, err := nexuspp.LookupBackend(b.Name()); err != nil {
+			t.Errorf("LookupBackend(%q): %v", b.Name(), err)
+		}
+	}
+	if _, err := nexuspp.LookupBackend("no-such-engine"); err == nil {
+		t.Error("LookupBackend(no-such-engine) succeeded")
+	}
+	if _, err := nexuspp.LookupWorkload("wavefront"); err != nil {
+		t.Errorf("LookupWorkload(wavefront): %v", err)
+	}
+}
+
+func TestFacadeFromSpecs(t *testing.T) {
+	specs := []nexuspp.TaskSpec{
+		{ID: 0, Params: []nexuspp.Param{{Addr: 8, Size: 4, Mode: nexuspp.WriteOnly}}, Exec: 100},
+		{ID: 1, Params: []nexuspp.Param{{Addr: 8, Size: 4, Mode: nexuspp.ReadWrite}}, Exec: 100},
+	}
+	src := nexuspp.FromSpecs("", specs)
+	if src.Name() != "custom" {
+		t.Errorf("Name = %q, want custom", src.Name())
+	}
+	if src.Total() != 2 {
+		t.Errorf("Total = %d", src.Total())
+	}
+	g := nexuspp.Oracle(nexuspp.FromSpecs("pair", specs))
+	if g.NumEdges() != 1 {
+		t.Errorf("edges = %d, want the RAW edge", g.NumEdges())
+	}
+	b, err := nexuspp.LookupBackend("runtime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := b.Run(context.Background(),
+		nexuspp.BackendConfig{Workers: 2, ZeroCost: true}, nexuspp.FromSpecs("pair", specs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TasksExecuted != 2 {
+		t.Errorf("TasksExecuted = %d, want 2", rep.TasksExecuted)
+	}
+}
