@@ -1,0 +1,99 @@
+package main
+
+// The golden subcommand maintains the conformance corpus under
+// internal/backend/testdata/golden: `golden -check` (the default) recomputes
+// every golden case on every registered engine and diffs the result against
+// the committed records; `golden -regen` rewrites them. The same case list
+// and diff logic back the internal/backend conformance test, so CI and the
+// CLI can never disagree about what conformance means.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"nexuspp/internal/backend"
+)
+
+func goldenCmd(args []string) int {
+	fs := flag.NewFlagSet("nexusbench golden", flag.ExitOnError)
+	var (
+		regen = fs.Bool("regen", false, "rewrite the committed golden files from the current engines")
+		check = fs.Bool("check", false, "diff the current engines against the committed golden files (default)")
+		dir   = fs.String("dir", "internal/backend/testdata/golden", "golden corpus directory")
+		only  = fs.String("case", "", "restrict to one golden case (see the case list in errors)")
+	)
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "nexusbench golden: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+	if *regen && *check {
+		fmt.Fprintln(os.Stderr, "nexusbench golden: -regen and -check are mutually exclusive")
+		return 2
+	}
+
+	cases := backend.GoldenCases()
+	if *only != "" {
+		c, err := backend.LookupGoldenCase(*only)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nexusbench golden: %v\n", err)
+			return 2
+		}
+		cases = []backend.GoldenCase{c}
+	}
+
+	ctx := context.Background()
+	if *regen {
+		for _, c := range cases {
+			rec, err := backend.ComputeGolden(ctx, c)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "nexusbench golden: %s: %v\n", c.Name, err)
+				return 1
+			}
+			path := backend.GoldenPath(*dir, c.Name)
+			if err := backend.WriteGolden(path, rec); err != nil {
+				fmt.Fprintf(os.Stderr, "nexusbench golden: %s: %v\n", c.Name, err)
+				return 1
+			}
+			fmt.Printf("regen %-22s -> %s (%d tasks, %d engines)\n",
+				c.Name, path, rec.Oracle.Tasks, len(rec.Engines))
+		}
+		fmt.Println("golden corpus regenerated; commit the diff with an explanation of why the behaviour moved")
+		return 0
+	}
+
+	drift := 0
+	for _, c := range cases {
+		path := backend.GoldenPath(*dir, c.Name)
+		want, err := backend.ReadGolden(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nexusbench golden: %s: %v (run 'nexusbench golden -regen')\n", c.Name, err)
+			drift++
+			continue
+		}
+		got, err := backend.ComputeGolden(ctx, c)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nexusbench golden: %s: %v\n", c.Name, err)
+			drift++
+			continue
+		}
+		if diffs := want.Diff(got); len(diffs) > 0 {
+			fmt.Printf("DRIFT %s (%d fields):\n", c.Name, len(diffs))
+			for _, d := range diffs {
+				fmt.Printf("  %s\n", d)
+			}
+			drift++
+			continue
+		}
+		fmt.Printf("ok    %-22s %d tasks, %d engines\n", c.Name, got.Oracle.Tasks, len(got.Engines))
+	}
+	if drift > 0 {
+		fmt.Printf("golden drift in %d/%d cases; if intentional, 'nexusbench golden -regen' and explain the change\n",
+			drift, len(cases))
+		return 1
+	}
+	fmt.Printf("golden corpus conforms: %d cases, all engines\n", len(cases))
+	return 0
+}

@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	nexusbench run  [-backend=<name|all>] [-workload=<name>] [-workers=N] [flags]
+//	nexusbench run    [-backend=<name|all>] [-workload=<name>] [-workers=N] [flags]
 //	nexusbench list
-//	nexusbench exp  [flags] [experiment...]
+//	nexusbench golden [-check|-regen] [-dir=<path>] [-case=<name>]
+//	nexusbench exp    [flags] [experiment...]
 //
 // `run` executes one workload on one backend — or on every registered
 // backend with -backend=all — and prints one unified report row per engine:
@@ -16,6 +17,9 @@
 //
 // `list` enumerates the registered backends and workloads with their
 // descriptions.
+//
+// `golden` maintains the conformance corpus: -check (the default) diffs
+// every engine against the committed golden records, -regen rewrites them.
 //
 // `exp` regenerates the paper's tables and figures: table2, fig6, fig7,
 // fig8, headline, ablation-buffering, ablation-dummies, ablation-ports,
@@ -53,6 +57,8 @@ func main() {
 			os.Exit(runCmd(args[1:]))
 		case "list":
 			os.Exit(listCmd(os.Stdout))
+		case "golden":
+			os.Exit(goldenCmd(args[1:]))
 		case "exp":
 			os.Exit(expCmd(args[1:]))
 		case "help", "-h", "-help", "--help":
@@ -67,6 +73,7 @@ func main() {
 func usage(w io.Writer) {
 	fmt.Fprintln(w, "usage: nexusbench run [-backend=<name|all>] [-workload=<name>] [-workers=N] [flags]")
 	fmt.Fprintln(w, "       nexusbench list")
+	fmt.Fprintln(w, "       nexusbench golden [-check|-regen] [-dir=<path>] [-case=<name>]")
 	fmt.Fprintln(w, "       nexusbench exp [flags] [experiment...]")
 	fmt.Fprintln(w, "run 'nexusbench list' for backends and workloads,")
 	fmt.Fprintln(w, "    'nexusbench exp unknown' for the experiment names.")

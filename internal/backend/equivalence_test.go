@@ -1,0 +1,69 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"nexuspp/internal/core"
+	"nexuspp/internal/depgraph"
+	"nexuspp/internal/workload"
+)
+
+// TestCrossEngineEquivalenceOnRandomDAGs is the property-based counterpart
+// of the golden corpus: for a batch of seeded random DAGs the corpus has
+// never seen, every engine must agree with the depgraph oracle on the task
+// count, every simulated makespan must be bounded below by the oracle's
+// critical path, and every recorded schedule must respect dependency
+// order. An engine rejecting a DAG it cannot express (the original Nexus's
+// fixed structure limits) is tolerated but must say so via FatalModelError.
+func TestCrossEngineEquivalenceOnRandomDAGs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep skipped in -short mode")
+	}
+	seeds := []uint64{1, 7, 42, 99, 1234, 0xdeadbeef, 1 << 40, 987654321}
+	for _, seed := range seeds {
+		seed := seed
+		cfg := workload.RandomDAGConfig{Tasks: 160, FanIn: 3, Window: 24, Seed: seed}
+		newSrc := func() workload.Source { return workload.RandomDAG(cfg) }
+
+		g := depgraph.Build(newSrc())
+		an := g.Analyze()
+		if g.NumTasks() != cfg.Tasks {
+			t.Fatalf("seed %d: oracle saw %d tasks, want %d", seed, g.NumTasks(), cfg.Tasks)
+		}
+
+		for _, b := range All() {
+			b := b
+			t.Run(fmt.Sprintf("%s/seed-%d", b.Name(), seed), func(t *testing.T) {
+				t.Parallel()
+				rep, err := b.Run(context.Background(),
+					Config{Workers: 4, ZeroCost: true, RecordSchedule: true}, newSrc())
+				if err != nil {
+					var fatal core.FatalModelError
+					if errors.As(err, &fatal) {
+						t.Skipf("seed %d: model limit: %v", seed, err)
+					}
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if rep.TasksExecuted != uint64(g.NumTasks()) {
+					t.Errorf("seed %d: executed %d tasks, oracle has %d",
+						seed, rep.TasksExecuted, g.NumTasks())
+				}
+				if rep.Simulated {
+					if int64(rep.Makespan) < int64(an.CriticalPath) {
+						t.Errorf("seed %d: makespan %d beats the critical path %d",
+							seed, rep.Makespan, an.CriticalPath)
+					}
+					if sched := scheduleOf(rep); sched != nil {
+						if err := g.ValidateSchedule(sched); err != nil {
+							t.Errorf("seed %d: recorded schedule violates dependency order: %v",
+								seed, err)
+						}
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package backend
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestGoldenConformance is the standing regression wall: every golden case
+// is recomputed on every registered engine and diffed field-by-field
+// against the committed record in testdata/golden. Any behavioural change
+// to a resolver — task counts, simulated makespans, dependency-order
+// respect, poison propagation — fails here with the readable diff, and an
+// intentional change must ship regenerated goldens (nexusbench golden
+// -regen) plus an explanation.
+func TestGoldenConformance(t *testing.T) {
+	for _, c := range GoldenCases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			path := GoldenPath("testdata/golden", c.Name)
+			want, err := ReadGolden(path)
+			if err != nil {
+				t.Fatalf("missing golden record: %v (run 'go run ./cmd/nexusbench golden -regen' and commit)", err)
+			}
+			got, err := ComputeGolden(context.Background(), c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diffs := want.Diff(got); len(diffs) > 0 {
+				t.Errorf("golden drift (%d fields):\n  %s", len(diffs), strings.Join(diffs, "\n  "))
+			}
+		})
+	}
+}
+
+// TestGoldenCorpusShape pins what the corpus must cover: at least six
+// workload families including the three irregular shapes, all five engines
+// per case, a non-trivial poison-propagation count somewhere, and validated
+// dependency order on every simulated engine that accepted the workload.
+func TestGoldenCorpusShape(t *testing.T) {
+	cases := GoldenCases()
+	families := map[string]bool{}
+	for _, c := range cases {
+		if _, err := LookupWorkload(c.Workload); err != nil {
+			t.Errorf("case %s references unregistered workload: %v", c.Name, err)
+		}
+		families[c.Workload] = true
+	}
+	if len(families) < 6 {
+		t.Errorf("corpus covers %d workload families, want >= 6: %v", len(families), families)
+	}
+	for _, name := range []string{"starpu_deps", "randdag", "skewed"} {
+		if !families[name] {
+			t.Errorf("corpus is missing the %s family", name)
+		}
+	}
+	engineCount := len(Names())
+	sawPoison := false
+	for _, c := range cases {
+		g, err := ReadGolden(GoldenPath("testdata/golden", c.Name))
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if len(g.Engines) != engineCount {
+			t.Errorf("%s: golden covers %d engines, want %d", c.Name, len(g.Engines), engineCount)
+		}
+		if g.Oracle.PoisonSkipped > 0 {
+			sawPoison = true
+		}
+		for _, e := range g.Engines {
+			if e.Rejected != "" {
+				continue
+			}
+			if e.Tasks != uint64(g.Oracle.Tasks) {
+				t.Errorf("%s/%s: golden tasks %d != oracle %d", c.Name, e.Backend, e.Tasks, g.Oracle.Tasks)
+			}
+			if e.Simulated {
+				if !e.ScheduleOK {
+					t.Errorf("%s/%s: simulated engine without validated schedule", c.Name, e.Backend)
+				}
+				if e.MakespanPs < g.Oracle.CriticalPathPs {
+					t.Errorf("%s/%s: makespan %d beats the oracle critical path %d",
+						c.Name, e.Backend, e.MakespanPs, g.Oracle.CriticalPathPs)
+				}
+			} else {
+				// The gated poison replay must skip exactly the oracle's
+				// transitive descendants of the failed task.
+				if e.PoisonFailed != 1 {
+					t.Errorf("%s/%s: poison_failed = %d, want 1", c.Name, e.Backend, e.PoisonFailed)
+				}
+				if e.PoisonSkipped != uint64(g.Oracle.PoisonSkipped) {
+					t.Errorf("%s/%s: poison_skipped = %d, oracle descendants = %d",
+						c.Name, e.Backend, e.PoisonSkipped, g.Oracle.PoisonSkipped)
+				}
+			}
+		}
+	}
+	if !sawPoison {
+		t.Error("no golden case has a non-trivial poison-propagation count")
+	}
+}
+
+// TestGoldenDiffCatchesPerturbation pins the failure mode the corpus
+// exists for: perturb each recorded observable of a real golden record and
+// require a readable one-line diff naming the field.
+func TestGoldenDiffCatchesPerturbation(t *testing.T) {
+	orig, err := ReadGolden(GoldenPath("testdata/golden", "wavefront-12x10"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturb := []struct {
+		name string
+		mut  func(*Golden)
+		want string
+	}{
+		{"makespan", func(g *Golden) { g.Engines[2].MakespanPs++ }, ".makespan_ps"},
+		{"tasks", func(g *Golden) { g.Engines[0].Tasks-- }, ".tasks"},
+		{"critical-path", func(g *Golden) { g.Oracle.CriticalPathPs++ }, "oracle.critical_path_ps"},
+		{"poison", func(g *Golden) { g.Engines[0].PoisonSkipped++ }, ".poison_skipped"},
+		{"schedule", func(g *Golden) { g.Engines[2].ScheduleOK = false }, ".schedule_ok"},
+		{"rejection", func(g *Golden) { g.Engines[1].Rejected = "nope" }, ".rejected"},
+	}
+	for _, p := range perturb {
+		t.Run(p.name, func(t *testing.T) {
+			mutated := *orig
+			mutated.Engines = append([]GoldenEngine(nil), orig.Engines...)
+			p.mut(&mutated)
+			diffs := orig.Diff(&mutated)
+			if len(diffs) == 0 {
+				t.Fatal("perturbation produced no diff")
+			}
+			found := false
+			for _, d := range diffs {
+				if strings.Contains(d, p.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("diff %v does not name the perturbed field %q", diffs, p.want)
+			}
+		})
+	}
+}

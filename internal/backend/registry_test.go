@@ -1,0 +1,54 @@
+package backend
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestLookupWorkloadUnknownListsSortedNames pins the exact failure message:
+// an unknown workload name must enumerate every valid name in sorted order,
+// so the message is deterministic across runs and map-iteration orders.
+func TestLookupWorkloadUnknownListsSortedNames(t *testing.T) {
+	_, err := LookupWorkload("no-such-workload")
+	if err == nil {
+		t.Fatal("lookup of an unknown workload succeeded")
+	}
+	names := WorkloadNames()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("WorkloadNames() is not sorted: %v", names)
+	}
+	want := `backend: unknown workload "no-such-workload" (valid: ` + strings.Join(names, ", ") + ")"
+	if got := err.Error(); got != want {
+		t.Errorf("error message drifted:\n got: %s\nwant: %s", got, want)
+	}
+	for _, must := range []string{"starpu_deps", "randdag", "skewed", "wavefront"} {
+		if !strings.Contains(err.Error(), must) {
+			t.Errorf("error message does not list registered workload %q: %s", must, err)
+		}
+	}
+	// Repeated lookups must render the identical message (no map-order leak).
+	for i := 0; i < 16; i++ {
+		_, again := LookupWorkload("no-such-workload")
+		if again.Error() != want {
+			t.Fatalf("error message is nondeterministic:\n%s\nvs\n%s", again, want)
+		}
+	}
+}
+
+// TestRegisterWorkloadRejectsBadEntries pins the registry's panics: empty
+// name, nil constructor, duplicate name.
+func TestRegisterWorkloadRejectsBadEntries(t *testing.T) {
+	mustPanic := func(name string, w WorkloadInfo) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: RegisterWorkload did not panic", name)
+			}
+		}()
+		RegisterWorkload(w)
+	}
+	mustPanic("empty-name", WorkloadInfo{New: Workloads()[0].New})
+	mustPanic("nil-constructor", WorkloadInfo{Name: "broken"})
+	mustPanic("duplicate", WorkloadInfo{Name: "wavefront", New: Workloads()[0].New})
+}

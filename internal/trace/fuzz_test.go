@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"nexuspp/internal/sim"
+)
+
+// FuzzTraceRoundTrip drives the binary codec with arbitrary bytes. Two
+// properties must hold: Read never panics (corrupt input fails with an
+// error), and any input Read accepts re-encodes to a canonical form that
+// round-trips byte-identically (Write -> Read -> Write is a fixed point).
+// The input bytes themselves need not equal the first re-encode, because
+// ReadUvarint tolerates non-minimal varints that Write never produces.
+func FuzzTraceRoundTrip(f *testing.F) {
+	empty := &Trace{Name: "empty"}
+	var buf bytes.Buffer
+	if err := Write(&buf, empty); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+
+	grid := &Trace{
+		Name: "grid",
+		Tasks: []TaskSpec{
+			{ID: 0, Func: 1, Exec: 2 * sim.Microsecond, MemRead: 40 * sim.Nanosecond,
+				Params: []Param{{Addr: 0x1000, Size: 64, Mode: Out}}},
+			{ID: 1, Func: 1, Exec: 3 * sim.Microsecond, MemWrite: 80 * sim.Nanosecond,
+				Params: []Param{{Addr: 0x1000, Size: 64, Mode: In}, {Addr: 0x2000, Size: 64, Mode: InOut}}},
+		},
+	}
+	buf.Reset()
+	if err := Write(&buf, grid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+
+	// Corrupt variants: truncation, bad magic, absurd declared counts.
+	valid := append([]byte(nil), buf.Bytes()...)
+	f.Add(valid[:len(valid)/2])
+	bad := append([]byte(nil), valid...)
+	bad[0] = 'X'
+	f.Add(bad)
+	f.Add(append(append([]byte(nil), traceMagic[:]...), 0x00, 0xff, 0xff, 0xff, 0xff, 0x0f))
+	f.Add([]byte("NXTRACE1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // corrupt input must fail cleanly, nothing more
+		}
+		var enc1 bytes.Buffer
+		if err := Write(&enc1, tr); err != nil {
+			t.Fatalf("re-encoding an accepted trace: %v", err)
+		}
+		tr2, err := Read(bytes.NewReader(enc1.Bytes()))
+		if err != nil {
+			t.Fatalf("decoding our own encoding: %v", err)
+		}
+		var enc2 bytes.Buffer
+		if err := Write(&enc2, tr2); err != nil {
+			t.Fatalf("second re-encode: %v", err)
+		}
+		if !bytes.Equal(enc1.Bytes(), enc2.Bytes()) {
+			t.Errorf("canonical encoding is not a fixed point:\n first: %x\nsecond: %x",
+				enc1.Bytes(), enc2.Bytes())
+		}
+		if len(tr2.Tasks) != len(tr.Tasks) || tr2.Name != tr.Name {
+			t.Errorf("round-trip changed shape: %d tasks %q -> %d tasks %q",
+				len(tr.Tasks), tr.Name, len(tr2.Tasks), tr2.Name)
+		}
+	})
+}

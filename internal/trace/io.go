@@ -85,7 +85,10 @@ func Read(r io.Reader) (*Trace, error) {
 	if count > 1<<31 {
 		return nil, fmt.Errorf("trace: unreasonable task count %d", count)
 	}
-	tr := &Trace{Name: string(nameBuf), Tasks: make([]TaskSpec, 0, count)}
+	// The declared counts are untrusted until the records actually parse, so
+	// cap the allocation hints: a corrupt header claiming 2^31 tasks must fail
+	// on its missing first record, not allocate gigabytes up front.
+	tr := &Trace{Name: string(nameBuf), Tasks: make([]TaskSpec, 0, min(count, 4096))}
 	for i := uint64(0); i < count; i++ {
 		var t TaskSpec
 		fields := []*uint64{&t.ID}
@@ -113,9 +116,9 @@ func Read(r io.Reader) (*Trace, error) {
 		if nParams > 1<<20 {
 			return nil, fmt.Errorf("trace: task %d has unreasonable param count %d", i, nParams)
 		}
-		t.Params = make([]Param, nParams)
-		for j := range t.Params {
-			p := &t.Params[j]
+		t.Params = make([]Param, 0, min(nParams, 256))
+		for j := uint64(0); j < nParams; j++ {
+			var p Param
 			if p.Addr, err = binary.ReadUvarint(br); err != nil {
 				return nil, fmt.Errorf("trace: task %d param %d addr: %w", i, j, err)
 			}
@@ -132,6 +135,7 @@ func Read(r io.Reader) (*Trace, error) {
 				return nil, fmt.Errorf("trace: task %d param %d has invalid mode %d", i, j, mode)
 			}
 			p.Mode = AccessMode(mode)
+			t.Params = append(t.Params, p)
 		}
 		tr.Tasks = append(tr.Tasks, t)
 	}

@@ -1,0 +1,207 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nexuspp/internal/sim"
+	"nexuspp/internal/trace"
+)
+
+func TestStarPUDepsDefaults(t *testing.T) {
+	s := StarPUDeps(StarPUDepsConfig{})
+	if s.Total() != 32*64 {
+		t.Fatalf("Total = %d, want %d", s.Total(), 32*64)
+	}
+	if s.Name() != "starpu-deps-32x64x3" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	if err := CheckExhaustive(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStarPUDepsWrapAround pins the wrap-around in-dep rule against hand
+// computed values: task (i, j) reads cells i_before(k) of column j-1 with
+// i_before(k) = Rows - (((Rows-i-1)+k) % Rows) - 1.
+func TestStarPUDepsWrapAround(t *testing.T) {
+	const rows, cols, edges = 4, 3, 3
+	tr := Collect(StarPUDeps(StarPUDepsConfig{Rows: rows, Cols: cols, Edges: edges}))
+	if len(tr.Tasks) != rows*cols {
+		t.Fatalf("tasks = %d", len(tr.Tasks))
+	}
+	// Column 0: a single Out param, no in-deps.
+	for i := 0; i < rows; i++ {
+		task := tr.Tasks[i]
+		if len(task.Params) != 1 || task.Params[0].Mode != trace.Out {
+			t.Fatalf("column-0 task %d params = %+v, want single Out", i, task.Params)
+		}
+	}
+	base := tr.Tasks[0].Params[0].Addr
+	cell := func(i, j int) uint64 { return base + uint64(j*rows+i)*starpuCellBytes }
+	// Task (i=2, j=1): i_before(k) for k=0,1,2 is 2, 1, 0.
+	task := tr.Tasks[1*rows+2]
+	wantIn := []uint64{cell(2, 0), cell(1, 0), cell(0, 0)}
+	if len(task.Params) != edges+1 {
+		t.Fatalf("task (2,1) params = %d, want %d", len(task.Params), edges+1)
+	}
+	for k, addr := range wantIn {
+		if task.Params[k].Addr != addr || task.Params[k].Mode != trace.In {
+			t.Errorf("task (2,1) in-dep %d = %+v, want addr %#x", k, task.Params[k], addr)
+		}
+	}
+	if task.Params[edges].Addr != cell(2, 1) || task.Params[edges].Mode != trace.Out {
+		t.Errorf("task (2,1) self = %+v", task.Params[edges])
+	}
+	// Task (i=0, j=1): the wrap case — i_before(k) is 0, 3, 2.
+	task = tr.Tasks[1*rows+0]
+	wantIn = []uint64{cell(0, 0), cell(3, 0), cell(2, 0)}
+	for k, addr := range wantIn {
+		if task.Params[k].Addr != addr {
+			t.Errorf("task (0,1) in-dep %d = %#x, want %#x", k, task.Params[k].Addr, addr)
+		}
+	}
+}
+
+func TestStarPUDepsEdgesClamped(t *testing.T) {
+	s := StarPUDeps(StarPUDepsConfig{Rows: 2, Cols: 3, Edges: 9})
+	if err := CheckExhaustive(s); err != nil {
+		t.Fatal(err) // duplicate addresses would fail Validate
+	}
+	tr := Collect(s)
+	if n := len(tr.Tasks[2].Params); n != 3 {
+		t.Errorf("column-1 task params = %d, want 3 (2 clamped in-deps + self)", n)
+	}
+}
+
+func TestRandomDAGDeterministicAcrossReset(t *testing.T) {
+	s := RandomDAG(RandomDAGConfig{Tasks: 300, FanIn: 4, Window: 16, Seed: 11})
+	if err := CheckExhaustive(s); err != nil {
+		t.Fatal(err)
+	}
+	a := Collect(s)
+	b := Collect(RandomDAG(RandomDAGConfig{Tasks: 300, FanIn: 4, Window: 16, Seed: 11}))
+	if len(a.Tasks) != len(b.Tasks) {
+		t.Fatalf("task counts differ: %d vs %d", len(a.Tasks), len(b.Tasks))
+	}
+	for i := range a.Tasks {
+		ta, tb := a.Tasks[i], b.Tasks[i]
+		if ta.Exec != tb.Exec || len(ta.Params) != len(tb.Params) {
+			t.Fatalf("task %d differs between identically seeded sources", i)
+		}
+		for j := range ta.Params {
+			if ta.Params[j] != tb.Params[j] {
+				t.Fatalf("task %d param %d differs", i, j)
+			}
+		}
+	}
+	c := Collect(RandomDAG(RandomDAGConfig{Tasks: 300, FanIn: 4, Window: 16, Seed: 12}))
+	same := true
+	for i := range a.Tasks {
+		if a.Tasks[i].Exec != c.Tasks[i].Exec || len(a.Tasks[i].Params) != len(c.Tasks[i].Params) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical stream")
+	}
+}
+
+// Property: random DAGs are valid for any small configuration, in-deps stay
+// inside the window, and every task writes its own fresh segment.
+func TestRandomDAGProperty(t *testing.T) {
+	prop := func(nRaw, fanRaw, winRaw uint8, seed uint64) bool {
+		cfg := RandomDAGConfig{
+			Tasks:  int(nRaw%200) + 1,
+			FanIn:  int(fanRaw%6) + 1,
+			Window: int(winRaw%30) + 1,
+			Seed:   seed,
+		}
+		s := RandomDAG(cfg)
+		if CheckExhaustive(s) != nil {
+			return false
+		}
+		s.Reset()
+		for {
+			task, ok := s.Next()
+			if !ok {
+				return true
+			}
+			self := task.Params[len(task.Params)-1]
+			if self.Mode != trace.Out {
+				return false
+			}
+			for _, p := range task.Params[:len(task.Params)-1] {
+				if p.Mode != trace.In {
+					return false
+				}
+				delta := int(int64(self.Addr-p.Addr) / randDAGCellBytes)
+				if delta < 1 || delta > cfg.Window {
+					return false
+				}
+			}
+		}
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpatialSkewStructure(t *testing.T) {
+	s := SpatialSkew(SpatialSkewConfig{Rows: 3, Cols: 3, Sweeps: 2, Seed: 5})
+	if s.Total() != 18 {
+		t.Fatalf("Total = %d, want 18", s.Total())
+	}
+	if err := CheckExhaustive(s); err != nil {
+		t.Fatal(err)
+	}
+	tr := Collect(s)
+	// Center tile (1,1): 4 neighbours + self.
+	if n := len(tr.Tasks[4].Params); n != 5 {
+		t.Errorf("center tile params = %d, want 5", n)
+	}
+	// Corner tile (0,0): 2 neighbours + self.
+	if n := len(tr.Tasks[0].Params); n != 3 {
+		t.Errorf("corner tile params = %d, want 3", n)
+	}
+	// Self param is InOut, neighbours are In.
+	task := tr.Tasks[4]
+	if task.Params[len(task.Params)-1].Mode != trace.InOut {
+		t.Error("self param is not inout")
+	}
+	for _, p := range task.Params[:len(task.Params)-1] {
+		if p.Mode != trace.In {
+			t.Error("neighbour param is not in")
+		}
+	}
+	// Second sweep repeats the same addresses (same tiles).
+	if tr.Tasks[9].Params[len(tr.Tasks[9].Params)-1].Addr !=
+		tr.Tasks[0].Params[len(tr.Tasks[0].Params)-1].Addr {
+		t.Error("sweep 1 tile (0,0) does not alias sweep 0 tile (0,0)")
+	}
+}
+
+func TestSpatialSkewCostsAreSkewedAndBounded(t *testing.T) {
+	cfg := SpatialSkewConfig{Rows: 16, Cols: 16, Sweeps: 4, Seed: 9,
+		BaseExec: sim.Microsecond, Alpha: 1.1, MaxFactor: 50}
+	tr := Collect(SpatialSkew(cfg))
+	var max, sum sim.Time
+	for _, task := range tr.Tasks {
+		if task.Exec < cfg.BaseExec {
+			t.Fatalf("task %d exec %v below base %v", task.ID, task.Exec, cfg.BaseExec)
+		}
+		if task.Exec > sim.Time(float64(cfg.BaseExec)*cfg.MaxFactor)+1 {
+			t.Fatalf("task %d exec %v above clamp", task.ID, task.Exec)
+		}
+		if task.Exec > max {
+			max = task.Exec
+		}
+		sum += task.Exec
+	}
+	mean := sum / sim.Time(len(tr.Tasks))
+	if max < 5*mean {
+		t.Errorf("max exec %v is only %.1fx the mean %v — not a heavy tail",
+			max, float64(max)/float64(mean), mean)
+	}
+}

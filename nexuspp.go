@@ -49,8 +49,13 @@ func RegisterBackend(b Backend) { backend.Register(b) }
 func Workloads() []WorkloadInfo { return backend.Workloads() }
 
 // LookupWorkload resolves a named workload; an unknown name fails with an
-// error listing every valid name.
+// error listing every valid name in sorted order.
 func LookupWorkload(name string) (WorkloadInfo, error) { return backend.LookupWorkload(name) }
+
+// RegisterWorkload adds a named workload to the registry, making it
+// available to the unified CLI and the golden conformance corpus; it panics
+// on a duplicate or empty name or a nil constructor.
+func RegisterWorkload(w WorkloadInfo) { backend.RegisterWorkload(w) }
 
 // --- Hardware simulation -----------------------------------------------
 
@@ -113,6 +118,29 @@ func VerticalChains(seed uint64) Source { return workload.VerticalChains(seed) }
 func GaussianElimination(n int) Source {
 	return workload.Gaussian(workload.GaussianConfig{N: n})
 }
+
+// StarPUDepsConfig parameterises the TaskTorrent/StarPU wait-chain grid.
+type StarPUDepsConfig = workload.StarPUDepsConfig
+
+// StarPUDeps returns the TaskTorrent/StarPU `deps` wait-chain grid: an
+// n_rows x n_cols grid where each task waits on n_edges wrap-around
+// predecessors in the previous column.
+func StarPUDeps(cfg StarPUDepsConfig) Source { return workload.StarPUDeps(cfg) }
+
+// RandomDAGConfig parameterises the seeded random DAG generator.
+type RandomDAGConfig = workload.RandomDAGConfig
+
+// RandomDAG returns a seeded random task DAG with bounded fan-in over a
+// sliding predecessor window; the same seed always yields the same graph.
+func RandomDAG(cfg RandomDAGConfig) Source { return workload.RandomDAG(cfg) }
+
+// SpatialSkewConfig parameterises the skewed-cost spatial decomposition.
+type SpatialSkewConfig = workload.SpatialSkewConfig
+
+// SpatialSkew returns the skewed-cost spatial-decomposition workload:
+// sweeps over a tile grid with von-Neumann neighbour dependencies and
+// bounded-Pareto task costs.
+func SpatialSkew(cfg SpatialSkewConfig) Source { return workload.SpatialSkew(cfg) }
 
 // Oracle builds the reference dependency graph of a workload; its analyses
 // bound every achievable speedup and validate simulated schedules.
