@@ -1,0 +1,117 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"nexuspp/internal/backend"
+)
+
+// benchCmd records the PR-over-PR performance trajectory: a fixed sweep of
+// the executing engines (single-resolver maestro vs the sharded runtime)
+// replaying traced workloads with zero-cost bodies, so the numbers measure
+// pure dependency-resolution and scheduling throughput. Results land in a
+// stable JSON schema (BENCH_<pr>.json files are committed per PR).
+func benchCmd(args []string) int {
+	fs := flag.NewFlagSet("nexusbench bench", flag.ExitOnError)
+	var (
+		out    = fs.String("out", "", "output JSON path (default stdout)")
+		seed   = fs.Uint64("seed", 42, "trace generator seed")
+		repeat = fs.Int("repeat", 3, "runs per point; the best (highest throughput) is kept")
+	)
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "nexusbench bench: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+
+	type point struct {
+		Backend   string  `json:"backend"`
+		Workload  string  `json:"workload"`
+		Workers   int     `json:"workers"`
+		ZeroCost  bool    `json:"zerocost"`
+		Tasks     uint64  `json:"tasks"`
+		WallNS    int64   `json:"wall_ns"`
+		TasksPerS float64 `json:"tasks_per_s"`
+		Repeat    int     `json:"repeat"`
+	}
+	type doc struct {
+		Schema     string  `json:"schema"`
+		RecordedAt string  `json:"recorded_at"`
+		Go         string  `json:"go"`
+		GOMAXPROCS int     `json:"gomaxprocs"`
+		Seed       uint64  `json:"seed"`
+		Runs       []point `json:"runs"`
+	}
+
+	backends := []string{"maestro", "runtime"}
+	workloads := []string{"wavefront", "starpu_deps"}
+	workerCounts := []int{2, 4, 8}
+
+	d := doc{
+		Schema:     "nexusbench/bench/v1",
+		RecordedAt: time.Now().UTC().Format(time.RFC3339),
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       *seed,
+	}
+	for _, wname := range workloads {
+		wl, err := backend.LookupWorkload(wname)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nexusbench bench: %v\n", err)
+			return 2
+		}
+		for _, bname := range backends {
+			b, err := backend.Lookup(bname)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "nexusbench bench: %v\n", err)
+				return 2
+			}
+			for _, workers := range workerCounts {
+				best := point{Backend: bname, Workload: wname, Workers: workers, ZeroCost: true, Repeat: *repeat}
+				for r := 0; r < *repeat; r++ {
+					rep, err := b.Run(context.Background(),
+						backend.Config{Workers: workers, ZeroCost: true}, wl.New(*seed))
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "nexusbench bench: %s/%s w=%d: %v\n", bname, wname, workers, err)
+						return 1
+					}
+					if tp := rep.Throughput(); best.TasksPerS == 0 || tp > best.TasksPerS {
+						best.Tasks = rep.TasksExecuted
+						best.WallNS = rep.Wall.Nanoseconds()
+						best.TasksPerS = tp
+					}
+				}
+				fmt.Fprintf(os.Stderr, "bench: %-8s %-12s workers=%d  %8.0f tasks/s\n",
+					bname, wname, workers, best.TasksPerS)
+				d.Runs = append(d.Runs, best)
+			}
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nexusbench bench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		fmt.Fprintf(os.Stderr, "nexusbench bench: %v\n", err)
+		return 1
+	}
+	if *out != "" {
+		fmt.Printf("wrote %s (%d points)\n", *out, len(d.Runs))
+	}
+	return 0
+}

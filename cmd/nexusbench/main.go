@@ -8,6 +8,8 @@
 //	nexusbench list
 //	nexusbench golden [-check|-regen] [-dir=<path>] [-case=<name>]
 //	nexusbench exp    [flags] [experiment...]
+//	nexusbench serve  [-addr=<url>] [-clients=N] [-tasks=N] [flags]
+//	nexusbench bench  [-out=<path>] [-seed=N] [-repeat=N]
 //
 // `run` executes one workload on one backend — or on every registered
 // backend with -backend=all — and prints one unified report row per engine:
@@ -26,6 +28,13 @@
 // ablation-renaming, rts, nexus, cholesky, shards, all (default). For
 // backward compatibility, invoking nexusbench with experiment names (or
 // experiment flags) and no subcommand is treated as `exp`.
+//
+// `serve` is the service smoke: concurrent clients drive a nexusd daemon
+// (a running one via -addr, or an in-process loopback server) with
+// overlapping-address task graphs and verify per-session accounting.
+//
+// `bench` records the fixed performance sweep committed as BENCH_<pr>.json:
+// maestro vs the sharded runtime on zero-cost replays.
 //
 // Unknown backend, workload, or experiment names fail with an error listing
 // the valid names.
@@ -61,6 +70,10 @@ func main() {
 			os.Exit(goldenCmd(args[1:]))
 		case "exp":
 			os.Exit(expCmd(args[1:]))
+		case "serve":
+			os.Exit(serveCmd(args[1:]))
+		case "bench":
+			os.Exit(benchCmd(args[1:]))
 		case "help", "-h", "-help", "--help":
 			usage(os.Stdout)
 			os.Exit(0)
@@ -75,6 +88,8 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, "       nexusbench list")
 	fmt.Fprintln(w, "       nexusbench golden [-check|-regen] [-dir=<path>] [-case=<name>]")
 	fmt.Fprintln(w, "       nexusbench exp [flags] [experiment...]")
+	fmt.Fprintln(w, "       nexusbench serve [-addr=<url>] [-clients=N] [-tasks=N] [flags]")
+	fmt.Fprintln(w, "       nexusbench bench [-out=<path>] [-seed=N] [-repeat=N]")
 	fmt.Fprintln(w, "run 'nexusbench list' for backends and workloads,")
 	fmt.Fprintln(w, "    'nexusbench exp unknown' for the experiment names.")
 }

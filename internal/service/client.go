@@ -1,0 +1,227 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client is a small Go client for the nexusd HTTP API. The zero-value
+// http.DefaultClient is used unless HTTP is set.
+type Client struct {
+	base string
+	HTTP *http.Client
+}
+
+// NewClient returns a client for a daemon at base (e.g.
+// "http://127.0.0.1:8037"); a trailing slash is trimmed.
+func NewClient(base string) *Client {
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	return &Client{base: base}
+}
+
+// BackpressureError reports a 429: the session window is full. Retry after
+// RetryAfter (SubmitWait does this automatically).
+type BackpressureError struct {
+	RetryAfter time.Duration
+	Message    string
+}
+
+func (e *BackpressureError) Error() string {
+	return fmt.Sprintf("service: backpressure (retry after %v): %s", e.RetryAfter, e.Message)
+}
+
+// APIError is any other non-2xx response.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("service: HTTP %d: %s", e.Status, e.Message)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues one JSON request; in and out may be nil.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var er ErrorResponse
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			retry := time.Second
+			if s := resp.Header.Get("Retry-After"); s != "" {
+				if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+					retry = time.Duration(secs) * time.Second
+				}
+			}
+			return &BackpressureError{RetryAfter: retry, Message: er.Error}
+		}
+		return &APIError{Status: resp.StatusCode, Message: er.Error}
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// Debug fetches the server-wide /debug counters.
+func (c *Client) Debug(ctx context.Context) (*DebugInfo, error) {
+	var d DebugInfo
+	if err := c.do(ctx, http.MethodGet, "/debug", nil, &d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// Healthy reports whether the daemon answers /healthz.
+func (c *Client) Healthy(ctx context.Context) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+// Open creates a new session.
+func (c *Client) Open(ctx context.Context) (*Session, error) {
+	var info SessionInfo
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions", nil, &info); err != nil {
+		return nil, err
+	}
+	return &Session{c: c, ID: info.Session, Window: info.Window}, nil
+}
+
+// Session returns a handle on an existing server session by ID — e.g. one
+// created by another process, or for probing error responses.
+func (c *Client) Session(id string) *Session { return &Session{c: c, ID: id} }
+
+// Session is a client-side handle on one server session.
+type Session struct {
+	c *Client
+	// ID is the server-assigned session identifier.
+	ID string
+	// Window is the session's admission window, as reported at creation.
+	Window int
+}
+
+func (s *Session) path(suffix string) string { return "/v1/sessions/" + s.ID + suffix }
+
+// Submit sends one batch. On a full window it returns *BackpressureError
+// without retrying; see SubmitWait for the retrying variant.
+func (s *Session) Submit(ctx context.Context, tasks []TaskSpec) ([]uint64, error) {
+	var resp SubmitResponse
+	if err := s.c.do(ctx, http.MethodPost, s.path("/submit"), SubmitRequest{Tasks: tasks}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
+}
+
+// SubmitWait sends one batch, sleeping out backpressure until the batch is
+// admitted or ctx is cancelled. It returns the assigned IDs and the number
+// of 429 rounds it absorbed.
+func (s *Session) SubmitWait(ctx context.Context, tasks []TaskSpec) (ids []uint64, retries int, err error) {
+	for {
+		ids, err = s.Submit(ctx, tasks)
+		var bp *BackpressureError
+		if !errors.As(err, &bp) {
+			return ids, retries, err
+		}
+		retries++
+		// Sample a fraction of Retry-After: completions stream back
+		// continuously, so the window usually has room well before the
+		// full hint elapses.
+		delay := bp.RetryAfter / 10
+		if delay < 10*time.Millisecond {
+			delay = 10 * time.Millisecond
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, retries, ctx.Err()
+		}
+	}
+}
+
+// AwaitOnce issues a single bounded server-side wait and returns the raw
+// response, pending states included (Await loops until everything is done).
+func (s *Session) AwaitOnce(ctx context.Context, ids []uint64, timeout time.Duration) (*AwaitResponse, error) {
+	var resp AwaitResponse
+	req := AwaitRequest{IDs: ids, TimeoutMS: timeout.Milliseconds()}
+	if err := s.c.do(ctx, http.MethodPost, s.path("/await"), req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Await blocks until the given tasks (all submitted tasks when ids is
+// empty) complete or ctx is cancelled, re-issuing bounded server-side
+// waits as needed, and returns their final statuses.
+func (s *Session) Await(ctx context.Context, ids []uint64) ([]TaskStatus, error) {
+	for {
+		var resp AwaitResponse
+		req := AwaitRequest{IDs: ids, TimeoutMS: 10_000}
+		if err := s.c.do(ctx, http.MethodPost, s.path("/await"), req, &resp); err != nil {
+			return nil, err
+		}
+		if resp.Done {
+			return resp.Tasks, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return resp.Tasks, err
+		}
+	}
+}
+
+// Stats fetches the session's counters.
+func (s *Session) Stats(ctx context.Context) (*SessionStats, error) {
+	var st SessionStats
+	if err := s.c.do(ctx, http.MethodGet, s.path("/stats"), nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Close deletes the session, draining any in-flight work server-side.
+func (s *Session) Close(ctx context.Context) error {
+	return s.c.do(ctx, http.MethodDelete, s.path(""), nil, nil)
+}

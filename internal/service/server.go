@@ -1,0 +1,310 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"nexuspp/internal/starss"
+)
+
+// Config parameterises a Server.
+type Config struct {
+	// Workers is the shared runtime's worker-goroutine count; 0 selects
+	// GOMAXPROCS.
+	Workers int
+	// Shards is the shared runtime's dependency-table bank count; 0 selects
+	// the runtime default scaled to Workers.
+	Shards int
+	// BufferingDepth is each worker's local ready-task buffer depth; 0
+	// selects the runtime default. Depth 1 disables prefetching, trading
+	// dispatch overlap for strict readiness ordering.
+	BufferingDepth int
+	// Window is the shared runtime's global in-flight window. 0 derives it
+	// from MaxSessions*SessionWindow (capped at 262144), so per-session
+	// admission control fills before the global window can block a submit.
+	Window int
+	// SessionWindow is each session's admission window: the maximum number
+	// of in-flight tasks before submits get 429. 0 selects 256.
+	SessionWindow int
+	// SessionTTL is the idle time after which a session is reaped and
+	// drained (the vanished-client path). 0 selects 2 minutes.
+	SessionTTL time.Duration
+	// MaxSessions bounds the number of live sessions; creation beyond it
+	// gets 503. 0 selects 256.
+	MaxSessions int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SessionWindow <= 0 {
+		c.SessionWindow = 256
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 2 * time.Minute
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 256
+	}
+	if c.Window <= 0 {
+		c.Window = c.MaxSessions * c.SessionWindow
+		if c.Window > 1<<18 {
+			c.Window = 1 << 18
+		}
+	}
+	return c
+}
+
+// Server is the multi-tenant task service: one shared sharded runtime,
+// many isolated sessions. Create with New, expose with Handler, and Close
+// to drain everything.
+type Server struct {
+	cfg   Config
+	rt    *starss.Runtime
+	mux   *http.ServeMux
+	start time.Time
+
+	mu       sync.Mutex
+	sessions map[string]*session
+
+	janitorStop chan struct{}
+	janitorWG   sync.WaitGroup
+	closeOnce   sync.Once
+}
+
+// New starts the shared runtime and the session janitor.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		rt: starss.New(starss.Config{
+			Workers:        cfg.Workers,
+			Shards:         cfg.Shards,
+			Window:         cfg.Window,
+			BufferingDepth: cfg.BufferingDepth,
+		}),
+		start:       time.Now(),
+		sessions:    make(map[string]*session),
+		janitorStop: make(chan struct{}),
+	}
+	s.routes()
+	s.janitorWG.Add(1)
+	go s.janitor()
+	return s
+}
+
+// Runtime exposes the shared runtime for in-process callers (tests,
+// embedding).
+func (s *Server) Runtime() *starss.Runtime { return s.rt }
+
+// Handler returns the HTTP handler serving the service API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /debug", s.handleDebug)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.withSession(s.handleDeleteSession))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/stats", s.withSession(s.handleStats))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/submit", s.withSession(s.handleSubmit))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/await", s.withSession(s.handleAwait))
+}
+
+// janitor reaps sessions idle past the TTL — graceful drain for clients
+// that disconnected without a DELETE.
+func (s *Server) janitor() {
+	defer s.janitorWG.Done()
+	period := s.cfg.SessionTTL / 4
+	if period < time.Second {
+		period = time.Second
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-ticker.C:
+			s.mu.Lock()
+			var expired []*session
+			for id, ss := range s.sessions {
+				if ss.idleFor() > s.cfg.SessionTTL {
+					expired = append(expired, ss)
+					delete(s.sessions, id)
+				}
+			}
+			s.mu.Unlock()
+			for _, ss := range expired {
+				ss.close(ErrSessionExpired)
+			}
+		}
+	}
+}
+
+// Close drains every session and shuts the shared runtime down. Task
+// failures of drained sessions are a per-client condition, not a server
+// fault; Close reports only infrastructure state.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.janitorStop)
+		s.mu.Lock()
+		sessions := make([]*session, 0, len(s.sessions))
+		for id, ss := range s.sessions {
+			sessions = append(sessions, ss)
+			delete(s.sessions, id)
+		}
+		s.mu.Unlock()
+		for _, ss := range sessions {
+			ss.close(ErrSessionClosed)
+		}
+		// Close waits for the in-flight window to drain; cancelled bodies
+		// return promptly, so shutdown is bounded by one task body.
+		_ = s.rt.Close()
+	})
+	s.janitorWG.Wait()
+	return nil
+}
+
+// --- HTTP plumbing -------------------------------------------------------
+
+// httpError is a status code plus message, with an optional Retry-After.
+type httpError struct {
+	code       int
+	msg        string
+	retryAfter int // seconds; emitted when > 0
+}
+
+func badRequest(msg string) *httpError { return &httpError{code: http.StatusBadRequest, msg: msg} }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, e *httpError) {
+	if e.retryAfter > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", e.retryAfter))
+	}
+	writeJSON(w, e.code, ErrorResponse{Error: e.msg})
+}
+
+// withSession resolves the {id} path segment; the handler only runs for a
+// live session, and every hit refreshes the idle clock.
+func (s *Server) withSession(h func(http.ResponseWriter, *http.Request, *session)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		s.mu.Lock()
+		ss, ok := s.sessions[id]
+		s.mu.Unlock()
+		if !ok {
+			writeError(w, &httpError{code: http.StatusNotFound, msg: fmt.Sprintf("unknown session %q", id)})
+			return
+		}
+		ss.touch()
+		h(w, r, ss)
+	}
+}
+
+func newSessionID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("service: session id entropy: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// --- Handlers ------------------------------------------------------------
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		writeError(w, &httpError{
+			code:       http.StatusServiceUnavailable,
+			msg:        fmt.Sprintf("session limit reached (%d)", s.cfg.MaxSessions),
+			retryAfter: 5,
+		})
+		return
+	}
+	id := newSessionID()
+	ss := newSession(context.Background(), id, s.rt.Scope(id), s.cfg.SessionWindow)
+	s.sessions[id] = ss
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, SessionInfo{Session: id, Window: ss.window})
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request, ss *session) {
+	s.mu.Lock()
+	delete(s.sessions, ss.id)
+	s.mu.Unlock()
+	ss.close(ErrSessionClosed)
+	writeJSON(w, http.StatusOK, map[string]string{"session": ss.id, "state": "draining"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, ss *session) {
+	writeJSON(w, http.StatusOK, ss.stats())
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, ss *session) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, badRequest("submit: invalid JSON: "+err.Error()))
+		return
+	}
+	resp, herr := ss.submit(req.Tasks)
+	if herr != nil {
+		writeError(w, herr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAwait(w http.ResponseWriter, r *http.Request, ss *session) {
+	var req AwaitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, badRequest("await: invalid JSON: "+err.Error()))
+		return
+	}
+	resp, herr := ss.await(r.Context(), req)
+	if herr != nil {
+		writeError(w, herr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
+	st := s.rt.Stats()
+	s.mu.Lock()
+	per := make([]SessionStats, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		per = append(per, ss.stats())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, DebugInfo{
+		UptimeS:    time.Since(s.start).Seconds(),
+		Goroutines: runtime.NumGoroutine(),
+		Sessions:   len(per),
+		Runtime: RuntimeDebug{
+			Submitted:  st.Submitted,
+			Executed:   st.Executed,
+			Failed:     st.Failed,
+			Skipped:    st.Skipped,
+			Hazards:    st.Hazards,
+			InFlight:   s.rt.InFlight(),
+			QueueDepth: s.rt.QueueDepth(),
+			Window:     s.rt.WindowSize(),
+		},
+		PerSession: per,
+	})
+}

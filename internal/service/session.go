@@ -1,0 +1,240 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nexuspp/internal/starss"
+)
+
+// Session lifecycle causes, surfaced through task errors when a drain
+// cancels unstarted work.
+var (
+	// ErrSessionClosed is the cancellation cause of an explicitly closed
+	// session (DELETE, or server shutdown).
+	ErrSessionClosed = errors.New("service: session closed")
+	// ErrSessionExpired is the cancellation cause of a session reaped by
+	// the idle janitor — the graceful-drain path for vanished clients.
+	ErrSessionExpired = errors.New("service: session expired (client idle)")
+)
+
+// session is one client's isolated slice of the shared runtime: a
+// starss.Scope for keyspace isolation and per-session stats, an admission
+// window enforced with tokens (never by blocking the HTTP handler), and
+// the handles of every task it has submitted, addressable by session-local
+// ID for await.
+type session struct {
+	id    string
+	scope *starss.Scope
+	// ctx is the context every task is submitted with; cancel drains the
+	// session: unstarted tasks fail, dependents poison, kick-off lists
+	// drain, and the window tokens flow back through the scope's hook.
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+	window int
+	// avail is the session's remaining admission tokens. Submits reserve
+	// tokens up front and get backpressure when too few remain; tokens
+	// return on task completion.
+	avail      atomic.Int64
+	lastActive atomic.Int64 // unix nanoseconds
+	closed     atomic.Bool
+
+	mu      sync.Mutex
+	handles map[uint64]*starss.Handle
+	nextID  uint64
+}
+
+func newSession(parent context.Context, id string, scope *starss.Scope, window int) *session {
+	ctx, cancel := context.WithCancelCause(parent)
+	ss := &session{
+		id:      id,
+		scope:   scope,
+		ctx:     ctx,
+		cancel:  cancel,
+		window:  window,
+		handles: make(map[uint64]*starss.Handle),
+	}
+	ss.avail.Store(int64(window))
+	ss.touch()
+	// The scope hook returns the admission token of every completed task
+	// and counts as activity, so a session with live work never expires.
+	scope.SetOnDone(func(error) {
+		ss.avail.Add(1)
+		ss.touch()
+	})
+	return ss
+}
+
+func (ss *session) touch() { ss.lastActive.Store(time.Now().UnixNano()) }
+func (ss *session) idleFor() time.Duration {
+	return time.Duration(time.Now().UnixNano() - ss.lastActive.Load())
+}
+
+// reserve takes n admission tokens, or reports how many are in flight when
+// the window has too few left (the backpressure signal).
+func (ss *session) reserve(n int64) (ok bool, inFlight int64) {
+	for {
+		cur := ss.avail.Load()
+		if cur < n {
+			return false, int64(ss.window) - cur
+		}
+		if ss.avail.CompareAndSwap(cur, cur-n) {
+			return true, 0
+		}
+	}
+}
+
+// release returns tokens reserved for tasks that were never admitted.
+func (ss *session) release(n int64) {
+	if n > 0 {
+		ss.avail.Add(n)
+	}
+}
+
+// submit admits a batch, returning the assigned session-local IDs or an
+// httpError (429 with Retry-After on a full window; the submit path never
+// blocks the caller on admission).
+func (ss *session) submit(specs []TaskSpec) (*SubmitResponse, *httpError) {
+	ss.touch()
+	n := len(specs)
+	if n == 0 {
+		return nil, badRequest("submit: empty task list")
+	}
+	if n > ss.window {
+		return nil, badRequest(fmt.Sprintf(
+			"submit: batch of %d exceeds the session window of %d and can never be admitted; split the batch", n, ss.window))
+	}
+	tasks := make([]starss.Task, n)
+	for i, spec := range specs {
+		t, err := spec.task()
+		if err != nil {
+			return nil, badRequest("submit: " + err.Error())
+		}
+		tasks[i] = t
+	}
+	if ok, inFlight := ss.reserve(int64(n)); !ok {
+		return nil, &httpError{
+			code:       429,
+			msg:        fmt.Sprintf("session window full: %d of %d tasks in flight, batch of %d rejected", inFlight, ss.window, n),
+			retryAfter: 1,
+		}
+	}
+	handles, err := ss.scope.SubmitAll(ss.ctx, tasks)
+	ss.release(int64(n - len(handles))) // tokens of tasks never admitted
+	if len(handles) == 0 && err != nil {
+		return nil, submitError(err)
+	}
+	resp := &SubmitResponse{IDs: make([]uint64, len(handles))}
+	ss.mu.Lock()
+	for i, h := range handles {
+		id := ss.nextID
+		ss.nextID++
+		ss.handles[id] = h
+		resp.IDs[i] = id
+	}
+	ss.mu.Unlock()
+	return resp, nil
+}
+
+// submitError maps a runtime admission error onto an HTTP status.
+func submitError(err error) *httpError {
+	switch {
+	case errors.Is(err, starss.ErrStopped):
+		return &httpError{code: 503, msg: "runtime is shutting down"}
+	case errors.Is(err, context.Canceled), errors.Is(err, ErrSessionClosed), errors.Is(err, ErrSessionExpired):
+		return &httpError{code: 410, msg: "session closed"}
+	default:
+		return &httpError{code: 500, msg: err.Error()}
+	}
+}
+
+// await blocks until the requested tasks complete or the timeout expires,
+// reporting each task's state. Unknown IDs are a client error.
+func (ss *session) await(ctx context.Context, req AwaitRequest) (*AwaitResponse, *httpError) {
+	ss.touch()
+	timeout := 30 * time.Second
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > 2*time.Minute {
+		timeout = 2 * time.Minute
+	}
+	ss.mu.Lock()
+	ids := req.IDs
+	if len(ids) == 0 {
+		ids = make([]uint64, 0, len(ss.handles))
+		for id := range ss.handles {
+			ids = append(ids, id)
+		}
+		slices.Sort(ids)
+	}
+	handles := make([]*starss.Handle, len(ids))
+	for i, id := range ids {
+		h, ok := ss.handles[id]
+		if !ok {
+			ss.mu.Unlock()
+			return nil, badRequest(fmt.Sprintf("await: unknown task id %d", id))
+		}
+		handles[i] = h
+	}
+	ss.mu.Unlock()
+
+	wctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	resp := &AwaitResponse{Done: true, Tasks: make([]TaskStatus, len(ids))}
+	for i, h := range handles {
+		// Block on the first still-pending task; once the deadline fires,
+		// the remaining handles resolve instantly to pending or done.
+		_ = h.Wait(wctx)
+		st := TaskStatus{ID: ids[i]}
+		select {
+		case <-h.Done():
+			err := h.Err()
+			switch {
+			case err == nil:
+				st.State = StateOK
+			case errors.Is(err, starss.ErrDependencyFailed):
+				st.State = StateSkipped
+				st.Error = err.Error()
+			default:
+				st.State = StateFailed
+				st.Error = err.Error()
+			}
+		default:
+			st.State = StatePending
+			resp.Done = false
+		}
+		resp.Tasks[i] = st
+	}
+	ss.touch()
+	return resp, nil
+}
+
+// stats snapshots the session counters.
+func (ss *session) stats() SessionStats {
+	st := ss.scope.Stats()
+	return SessionStats{
+		Session:     ss.id,
+		Window:      ss.window,
+		InFlight:    ss.scope.InFlight(),
+		Submitted:   st.Submitted,
+		Executed:    st.Executed,
+		Failed:      st.Failed,
+		Skipped:     st.Skipped,
+		MaxInFlight: st.MaxInFlight,
+	}
+}
+
+// close drains the session: the cancellation cause fails every unstarted
+// task, poisoning propagates through its graph, and in-flight bodies see
+// ctx.Done(). Idempotent.
+func (ss *session) close(cause error) {
+	if ss.closed.CompareAndSwap(false, true) {
+		ss.cancel(cause)
+	}
+}

@@ -670,3 +670,49 @@ func TestMaestroCloseSubmitRace(t *testing.T) {
 		<-done
 	}
 }
+
+// TestSubmitAfterCloseUniformErrStopped pins the post-Close admission
+// contract on both runtimes: every Submit/SubmitAll after Close returns
+// ErrStopped — including the sharded runtime's zero-length batch, which
+// once skipped the stopped check entirely and reported success.
+func TestSubmitAfterCloseUniformErrStopped(t *testing.T) {
+	for name, rt := range newRuntimes(Config{Workers: 2, Window: 8}) {
+		t.Run(name, func(t *testing.T) {
+			h := rt.MustSubmit(Task{
+				Deps: []Dep{InOut("k")},
+				Do:   func(context.Context) error { return nil },
+			})
+			if err := rt.Close(); err != nil {
+				t.Fatalf("Close = %v", err)
+			}
+			if err := h.Err(); err != nil {
+				t.Fatalf("pre-Close task err = %v", err)
+			}
+			if _, err := rt.Submit(context.Background(), Task{
+				Deps: []Dep{InOut("k")},
+				Do:   func(context.Context) error { return nil },
+			}); !errors.Is(err, ErrStopped) {
+				t.Errorf("Submit after Close = %v, want ErrStopped", err)
+			}
+			if err := rt.Wait(context.Background()); !errors.Is(err, ErrStopped) {
+				t.Errorf("Wait after Close = %v, want ErrStopped", err)
+			}
+			sharded, ok := rt.(*Runtime)
+			if !ok {
+				return
+			}
+			for _, batch := range [][]Task{
+				nil, // the empty batch must not short-circuit to success
+				{{Deps: []Dep{InOut("k")}, Do: func(context.Context) error { return nil }}},
+			} {
+				handles, err := sharded.SubmitAll(context.Background(), batch)
+				if !errors.Is(err, ErrStopped) {
+					t.Errorf("SubmitAll(len=%d) after Close = %v, want ErrStopped", len(batch), err)
+				}
+				if len(handles) != 0 {
+					t.Errorf("SubmitAll(len=%d) after Close admitted %d tasks", len(batch), len(handles))
+				}
+			}
+		})
+	}
+}

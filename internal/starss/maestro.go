@@ -115,7 +115,7 @@ func (m *MaestroRuntime) Submit(ctx context.Context, t Task) (*Handle, error) {
 	if name == "" {
 		name = fmt.Sprintf("task%d", idx)
 	}
-	node.handle = &Handle{name: name, index: idx, done: make(chan struct{})}
+	node.handle = &Handle{name: name, index: idx, done: make(chan struct{}), onDone: t.onDone}
 	select {
 	case <-m.stopped:
 		<-m.window

@@ -1,0 +1,161 @@
+package starss
+
+// A Scope multiplexes one tenant onto a shared Runtime — the software
+// analogue of one master core among the many a single Nexus++ task manager
+// serves (internal/core/master.go). Every dependency key submitted through
+// a scope is rewritten to a ScopedKey carrying the scope's name, so two
+// scopes using identical key names can never create cross-scope
+// dependencies: they hash to distinct dependence-table segments exactly as
+// two masters' address spaces occupy distinct table entries in hardware.
+// A scope also keeps its own Stats, classified from each task's final
+// error via the handle-completion hook, so a long-lived service can report
+// per-tenant counters while the shared runtime reports the aggregate.
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ScopedKey is a user key namespaced by the scope that submitted it. It is
+// the concrete key type the shared runtime's dependence banks see for
+// scoped submissions; it is exported so diagnostics and tests can name it,
+// but user code normally never constructs one.
+type ScopedKey struct {
+	Scope string
+	Key   Key
+}
+
+// Scope is a named, isolated submission namespace over a shared Runtime.
+// Create one per tenant with Runtime.Scope. Methods are safe for
+// concurrent use; SetOnDone must be called before the first submission.
+type Scope struct {
+	rt   *Runtime
+	name string
+	// onDone, when set, observes every scoped task's completion after the
+	// scope's own counters are updated. The service layer uses it to
+	// release per-session admission tokens.
+	onDone func(err error)
+
+	submitted   atomic.Uint64
+	executed    atomic.Uint64
+	failed      atomic.Uint64
+	skipped     atomic.Uint64
+	inFlight    atomic.Int64
+	maxInFlight atomic.Int64
+}
+
+// Scope returns a new submission namespace named name on the runtime. Two
+// scopes with different names are fully isolated even on identical user
+// keys; two Scope calls with the same name alias the same namespace (their
+// keys interact) but keep separate counters.
+func (rt *Runtime) Scope(name string) *Scope {
+	return &Scope{rt: rt, name: name}
+}
+
+// Name returns the scope's namespace name.
+func (s *Scope) Name() string { return s.name }
+
+// SetOnDone registers a hook invoked with every scoped task's final error
+// after the task completes and the scope's counters are updated. It must
+// be called before the scope's first submission and at most once.
+func (s *Scope) SetOnDone(fn func(err error)) { s.onDone = fn }
+
+// record classifies one completed task into the scope counters, mirroring
+// the runtime-wide executed/failed/skipped classification.
+func (s *Scope) record(err error) {
+	switch {
+	case err == nil:
+		s.executed.Add(1)
+	case errors.Is(err, ErrDependencyFailed):
+		s.skipped.Add(1)
+	default:
+		s.failed.Add(1)
+	}
+	s.inFlight.Add(-1)
+	if s.onDone != nil {
+		s.onDone(err)
+	}
+}
+
+// rewrite returns a copy of t with every dependency key wrapped in the
+// scope's namespace and the completion hook attached. The caller's Task
+// and Deps slice are not mutated.
+func (s *Scope) rewrite(t Task) Task {
+	if len(t.Deps) > 0 {
+		deps := make([]Dep, len(t.Deps))
+		for i, d := range t.Deps {
+			deps[i] = Dep{Key: ScopedKey{Scope: s.name, Key: d.Key}, Mode: d.Mode}
+		}
+		t.Deps = deps
+	}
+	t.onDone = s.record
+	return t
+}
+
+// noteMax folds the current in-flight count into the high-water mark.
+func (s *Scope) noteMax(n int64) {
+	for {
+		max := s.maxInFlight.Load()
+		if n <= max || s.maxInFlight.CompareAndSwap(max, n) {
+			return
+		}
+	}
+}
+
+// Submit submits one task through the scope: keys are namespaced, and the
+// scope's counters track the task's lifecycle. Semantics otherwise match
+// Runtime.Submit.
+func (s *Scope) Submit(ctx context.Context, t Task) (*Handle, error) {
+	s.noteMax(s.inFlight.Add(1))
+	h, err := s.rt.Submit(ctx, s.rewrite(t))
+	if err != nil {
+		s.inFlight.Add(-1)
+		return nil, err
+	}
+	s.submitted.Add(1)
+	return h, nil
+}
+
+// SubmitAll submits a batch through the scope with the same partial-prefix
+// contract as Runtime.SubmitAll: on error the returned handles cover the
+// admitted prefix, and the scope's counters cover exactly that prefix.
+func (s *Scope) SubmitAll(ctx context.Context, tasks []Task) ([]*Handle, error) {
+	scoped := make([]Task, len(tasks))
+	for i, t := range tasks {
+		scoped[i] = s.rewrite(t)
+	}
+	s.noteMax(s.inFlight.Add(int64(len(scoped))))
+	handles, err := s.rt.SubmitAll(ctx, scoped)
+	if n := len(scoped) - len(handles); n > 0 {
+		s.inFlight.Add(-int64(n))
+	}
+	s.submitted.Add(uint64(len(handles)))
+	return handles, err
+}
+
+// WaitOn blocks until every previously submitted scoped task accessing any
+// of the given (un-namespaced) keys has completed; see Runtime.WaitOn.
+func (s *Scope) WaitOn(ctx context.Context, keys ...Key) error {
+	scoped := make([]Key, len(keys))
+	for i, k := range keys {
+		scoped[i] = ScopedKey{Scope: s.name, Key: k}
+	}
+	return s.rt.WaitOn(ctx, scoped...)
+}
+
+// InFlight returns the scope's current submitted-but-unfinished count —
+// the session window occupancy of the service layer.
+func (s *Scope) InFlight() int64 { return s.inFlight.Load() }
+
+// Stats returns the scope's own counters. Hazards is always zero: hazard
+// detection happens inside the shared banks and is reported runtime-wide.
+func (s *Scope) Stats() Stats {
+	return Stats{
+		Submitted:   s.submitted.Load(),
+		Executed:    s.executed.Load(),
+		Failed:      s.failed.Load(),
+		Skipped:     s.skipped.Load(),
+		MaxInFlight: int(s.maxInFlight.Load()),
+	}
+}

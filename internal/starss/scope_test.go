@@ -1,0 +1,266 @@
+package starss
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Tests for Scope: session-scoped key namespacing and per-scope stats on a
+// shared runtime — the multi-master isolation contract the service layer
+// builds on.
+
+// TestScopeIsolationIdenticalKeys pins the core multi-tenant invariant:
+// two scopes submitting writers on the *same* user key must never order
+// against each other. Scope A's writer is gated on a channel; if scope B's
+// writer on the identical key were queued behind it, B could not complete
+// until the gate opens and the test would time out.
+func TestScopeIsolationIdenticalKeys(t *testing.T) {
+	// BufferingDepth 1: a ready task must never sit in a busy worker's
+	// prefetch buffer behind the gated task, which would stall the test
+	// for reasons unrelated to scoping.
+	rt := New(Config{Workers: 2, Window: 16, BufferingDepth: 1})
+	defer rt.Close()
+	a := rt.Scope("tenant-a")
+	b := rt.Scope("tenant-b")
+
+	gate := make(chan struct{})
+	openGate := sync.OnceFunc(func() { close(gate) })
+	defer openGate() // a test failure must not wedge the deferred Close
+	ha, err := a.Submit(context.Background(), Task{
+		Deps: []Dep{InOut("matrix")},
+		Do: func(ctx context.Context) error {
+			select {
+			case <-gate:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := b.Submit(context.Background(), Task{
+		Deps: []Dep{InOut("matrix")},
+		Do:   func(context.Context) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hb.Wait(ctx); err != nil {
+		t.Fatalf("scope B's writer did not complete while scope A held the same user key: %v", err)
+	}
+	select {
+	case <-ha.Done():
+		t.Fatal("scope A's gated writer completed early")
+	default:
+	}
+	openGate()
+	if err := ha.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.Stats(); st.Executed != 1 || st.Submitted != 1 {
+		t.Errorf("scope A stats = %s, want 1 submitted / 1 executed", st)
+	}
+	if st := b.Stats(); st.Executed != 1 || st.Submitted != 1 {
+		t.Errorf("scope B stats = %s, want 1 submitted / 1 executed", st)
+	}
+}
+
+// TestScopeOrderingWithinScope proves namespacing does not weaken the
+// intra-scope StarSs contract: two writers on one key inside one scope
+// still serialize.
+func TestScopeOrderingWithinScope(t *testing.T) {
+	rt := New(Config{Workers: 4, Window: 16, BufferingDepth: 1})
+	defer rt.Close()
+	s := rt.Scope("tenant")
+
+	gate := make(chan struct{})
+	openGate := sync.OnceFunc(func() { close(gate) })
+	defer openGate()
+	first, err := s.Submit(context.Background(), Task{
+		Deps: []Dep{InOut("k")},
+		Do: func(ctx context.Context) error {
+			select {
+			case <-gate:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Submit(context.Background(), Task{
+		Deps: []Dep{InOut("k")},
+		Do:   func(context.Context) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second writer must be a hazard: give the runtime a moment, then
+	// check it has not completed before the gate opens.
+	select {
+	case <-second.Done():
+		t.Fatal("second writer in the same scope ran before the first finished")
+	case <-time.After(20 * time.Millisecond):
+	}
+	openGate()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := first.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := second.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScopeStatsClassification pins the per-scope executed/failed/skipped
+// split and that a failure in one scope cannot poison another scope's
+// tasks on the same user key.
+func TestScopeStatsClassification(t *testing.T) {
+	rt := New(Config{Workers: 2, Window: 16})
+	defer rt.Close()
+	bad := rt.Scope("bad")
+	good := rt.Scope("good")
+
+	hFail, err := bad.Submit(context.Background(), Task{
+		Deps: []Dep{InOut("shared")},
+		Do:   func(context.Context) error { return errBoom },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hSkip, err := bad.Submit(context.Background(), Task{
+		Deps: []Dep{InOut("shared")},
+		Do:   func(context.Context) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hFail.Wait(ctx); !errors.Is(err, errBoom) {
+		t.Fatalf("failed task err = %v", err)
+	}
+	if err := hSkip.Wait(ctx); !errors.Is(err, ErrDependencyFailed) {
+		t.Fatalf("dependent err = %v, want ErrDependencyFailed", err)
+	}
+
+	// The other scope's task on the same user key is untouched by the
+	// poisoned segment — it lives in a different namespace.
+	hOK, err := good.Submit(context.Background(), Task{
+		Deps: []Dep{InOut("shared")},
+		Do:   func(context.Context) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hOK.Wait(ctx); err != nil {
+		t.Fatalf("clean scope's task poisoned across scopes: %v", err)
+	}
+
+	if st := bad.Stats(); st.Failed != 1 || st.Skipped != 1 || st.Executed != 0 {
+		t.Errorf("bad scope stats = %s, want failed=1 skipped=1", st)
+	}
+	if st := good.Stats(); st.Executed != 1 || st.Failed != 0 || st.Skipped != 0 {
+		t.Errorf("good scope stats = %s, want executed=1", st)
+	}
+}
+
+// TestScopeSubmitAllAndOnDone covers batch admission through a scope and
+// the completion hook the service layer uses for window accounting.
+func TestScopeSubmitAllAndOnDone(t *testing.T) {
+	rt := New(Config{Workers: 4, Window: 64})
+	defer rt.Close()
+	s := rt.Scope("tenant")
+	doneCh := make(chan error, 32)
+	s.SetOnDone(func(err error) { doneCh <- err })
+
+	tasks := make([]Task, 20)
+	for i := range tasks {
+		tasks[i] = Task{
+			Deps: []Dep{InOut(i % 4)},
+			Do:   func(context.Context) error { return nil },
+		}
+	}
+	handles, err := s.SubmitAll(context.Background(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(handles) != len(tasks) {
+		t.Fatalf("admitted %d of %d", len(handles), len(tasks))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, h := range handles {
+		if err := h.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < len(tasks); i++ {
+		select {
+		case err := <-doneCh:
+			if err != nil {
+				t.Errorf("onDone got %v", err)
+			}
+		case <-ctx.Done():
+			t.Fatalf("onDone fired %d of %d times", i, len(tasks))
+		}
+	}
+	if st := s.Stats(); st.Submitted != 20 || st.Executed != 20 {
+		t.Errorf("scope stats = %s, want 20/20", st)
+	}
+	if got := s.InFlight(); got != 0 {
+		t.Errorf("scope in-flight after drain = %d", got)
+	}
+}
+
+// TestScopeWaitOn checks that a scope's WaitOn namespaces its keys: it
+// returns once the scope's own accesses drain, regardless of another
+// scope holding the same user key.
+func TestScopeWaitOn(t *testing.T) {
+	rt := New(Config{Workers: 2, Window: 16, BufferingDepth: 1})
+	defer rt.Close()
+	a := rt.Scope("a")
+	b := rt.Scope("b")
+
+	gate := make(chan struct{})
+	defer close(gate)
+	if _, err := a.Submit(context.Background(), Task{
+		Deps: []Dep{InOut("k")},
+		Do: func(ctx context.Context) error {
+			select {
+			case <-gate:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := b.Submit(context.Background(), Task{
+		Deps: []Dep{InOut("k")},
+		Do:   func(context.Context) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := h.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Scope B's key space is quiet even though scope A still holds "k".
+	if err := b.WaitOn(ctx, "k"); err != nil {
+		t.Fatalf("scoped WaitOn blocked on another scope's segment: %v", err)
+	}
+}

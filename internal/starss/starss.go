@@ -116,6 +116,11 @@ type Task struct {
 	// (the Put Outputs phase). The task's outputs are only visible to
 	// dependents after it. It does not run when the body fails.
 	WriteBack func()
+	// onDone, when set, is invoked exactly once with the task's final error
+	// after its handle completes (executed, failed, or skipped). It is
+	// unexported: only this package wires it (Scope uses it for per-session
+	// accounting), so user code cannot observe half-published state.
+	onDone func(err error)
 }
 
 // body resolves the task's executable: Do, or the legacy Run adapted.
@@ -185,10 +190,11 @@ func (s Stats) String() string {
 // Finished. Handles are returned by Submit/SubmitAll and stay valid after
 // the runtime is closed.
 type Handle struct {
-	name  string
-	index uint64
-	done  chan struct{}
-	err   error // written before done is closed
+	name   string
+	index  uint64
+	done   chan struct{}
+	err    error // written before done is closed
+	onDone func(err error)
 }
 
 // Done returns a channel closed when the task completes: executed, failed,
@@ -228,10 +234,14 @@ func (h *Handle) Wait(ctx context.Context) error {
 }
 
 // complete publishes the task's outcome; err is visible to any Handle
-// reader ordered after the close.
+// reader ordered after the close. The onDone hook fires after the close,
+// so callbacks observe a completed handle.
 func (h *Handle) complete(err error) {
 	h.err = err
 	close(h.done)
+	if h.onDone != nil {
+		h.onDone(err)
+	}
 }
 
 // bank is one lock-striped slice of the dependence table. The pad brings
@@ -524,6 +534,14 @@ func (rt *Runtime) SubmitAll(ctx context.Context, tasks []Task) ([]*Handle, erro
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// After Close every admission path must uniformly report ErrStopped —
+	// including a zero-length batch, which would otherwise skip the chunk
+	// loop (where submitChunk performs this check) and return success.
+	select {
+	case <-rt.stopped:
+		return nil, ErrStopped
+	default:
+	}
 	// Chunk so one batch can never hold more window tokens than exist, and
 	// so bank locks are not held for unboundedly long.
 	chunkMax := rt.cfg.Window
@@ -627,7 +645,7 @@ func (rt *Runtime) admit(node *taskNode) {
 	if name == "" {
 		name = fmt.Sprintf("task%d", idx)
 	}
-	node.handle = &Handle{name: name, index: idx, done: make(chan struct{})}
+	node.handle = &Handle{name: name, index: idx, done: make(chan struct{}), onDone: node.task.onDone}
 	n := rt.inFlight.Add(1)
 	for {
 		max := rt.maxInFlight.Load()
@@ -911,6 +929,17 @@ func (rt *Runtime) checkWaitersLocked() {
 	}
 	rt.waiters = kept
 }
+
+// InFlight returns the current number of submitted-but-unfinished tasks —
+// the live window occupancy, for service /debug endpoints.
+func (rt *Runtime) InFlight() int { return int(rt.inFlight.Load()) }
+
+// QueueDepth returns the number of ready tasks currently queued for a
+// worker (dependence count zero, body not yet started).
+func (rt *Runtime) QueueDepth() int { return len(rt.readyCh) }
+
+// WindowSize returns the configured in-flight window capacity.
+func (rt *Runtime) WindowSize() int { return rt.cfg.Window }
 
 // Stats returns a snapshot of the runtime counters. After Close it returns
 // the final counters.

@@ -4,6 +4,7 @@ import (
 	"nexuspp/internal/backend"
 	"nexuspp/internal/core"
 	"nexuspp/internal/depgraph"
+	"nexuspp/internal/service"
 	"nexuspp/internal/starss"
 	"nexuspp/internal/trace"
 	"nexuspp/internal/workload"
@@ -213,3 +214,51 @@ func InOut(k any) Dep { return starss.InOut(k) }
 
 // NewRuntime starts an executing runtime.
 func NewRuntime(cfg RuntimeConfig) *Runtime { return starss.New(cfg) }
+
+// Scope is an isolated namespace on a shared Runtime, created with
+// Runtime.Scope: keys submitted through different scopes never alias, and
+// each scope keeps its own submitted/executed/failed/skipped counters. It
+// is the software analogue of one master core among many sharing the
+// paper's hardware task manager, and the isolation primitive under the
+// multi-tenant task service.
+type Scope = starss.Scope
+
+// ScopedKey is the namespaced form of a dependency key as seen by the
+// shared dependency table; useful for diagnostics.
+type ScopedKey = starss.ScopedKey
+
+// --- Task service ---------------------------------------------------------
+
+// ServiceServer is the long-running multi-tenant task service: one shared
+// sharded Runtime, many isolated client sessions with per-session admission
+// windows (429 backpressure), idle expiry, and graceful drain. cmd/nexusd
+// is the daemon wrapping it.
+type ServiceServer = service.Server
+
+// ServiceConfig parameterises a ServiceServer.
+type ServiceConfig = service.Config
+
+// ServiceClient is the Go client for the nexusd HTTP API.
+type ServiceClient = service.Client
+
+// ServiceSession is a client-side handle on one server session.
+type ServiceSession = service.Session
+
+// ServiceTaskSpec is the wire form of one task: a parameter list of
+// (addr, size, mode) plus a synthesized execution time.
+type ServiceTaskSpec = service.TaskSpec
+
+// ServiceParam is one entry of a wire task's parameter list.
+type ServiceParam = service.Param
+
+// NewService starts an in-process task service; expose it with Handler and
+// shut it down with Close.
+func NewService(cfg ServiceConfig) *ServiceServer { return service.New(cfg) }
+
+// NewServiceClient returns a client for a daemon at base
+// (e.g. "http://127.0.0.1:8037").
+func NewServiceClient(base string) *ServiceClient { return service.NewClient(base) }
+
+// ServiceTaskFromSpec converts a traced task into its wire form, so traced
+// workloads can be submitted to a live daemon.
+func ServiceTaskFromSpec(spec TaskSpec) ServiceTaskSpec { return service.FromTraceSpec(spec) }
