@@ -241,7 +241,7 @@ func BenchmarkRuntimeThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := rt.Submit(ctx, starss.Task{
 			Deps: []starss.Dep{starss.InOut(i % 64)},
-			Run:  func() {},
+			Do:   func(context.Context) error { return nil },
 		}); err != nil {
 			b.Fatal(err)
 		}
@@ -292,7 +292,7 @@ func BenchmarkShardScalability(b *testing.B) {
 						i++
 						if _, err := rt.Submit(ctx, starss.Task{
 							Deps: []starss.Dep{starss.InOut([2]int64{g, i % 512})},
-							Run:  func() {},
+							Do:   func(context.Context) error { return nil },
 						}); err != nil {
 							b.Fatal(err)
 						}
@@ -315,7 +315,7 @@ func BenchmarkShardScalability(b *testing.B) {
 					for pb.Next() {
 						if _, err := rt.Submit(ctx, starss.Task{
 							Deps: []starss.Dep{starss.InOut("hot")},
-							Run:  func() {},
+							Do:   func(context.Context) error { return nil },
 						}); err != nil {
 							b.Fatal(err)
 						}
@@ -343,7 +343,7 @@ func BenchmarkSubmitAll(b *testing.B) {
 		for i := range tasks {
 			tasks[i] = starss.Task{
 				Deps: []starss.Dep{starss.InOut([2]int{round, i})},
-				Run:  func() {},
+				Do:   func(context.Context) error { return nil },
 			}
 		}
 		return tasks
@@ -391,13 +391,13 @@ func BenchmarkRuntimeGaussian64(b *testing.B) {
 			col := col
 			rt.MustSubmit(nexuspp.Task{
 				Deps: []nexuspp.Dep{nexuspp.InOut(col)},
-				Run:  func() {},
+				Do:   func(context.Context) error { return nil },
 			})
 			for row := col + 1; row <= n; row++ {
 				row := row
 				rt.MustSubmit(nexuspp.Task{
 					Deps: []nexuspp.Dep{nexuspp.In(col), nexuspp.InOut(row)},
-					Run:  func() {},
+					Do:   func(context.Context) error { return nil },
 				})
 			}
 		}

@@ -50,7 +50,9 @@ func serveCmd(args []string) int {
 			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 			defer cancel()
 			hs.Shutdown(ctx)
-			srv.Close()
+			if err := srv.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "daemon close: %v\n", err)
+			}
 		}()
 		base = "http://" + ln.Addr().String()
 		fmt.Printf("in-process daemon on %s\n", base)
@@ -85,7 +87,9 @@ func serveCmd(args []string) int {
 				if err != nil {
 					return fmt.Errorf("open: %w", err)
 				}
-				defer s.Close(context.Background())
+				// Every task outcome is checked via Await below; session
+				// teardown is best-effort.
+				defer func() { _ = s.Close(context.Background()) }()
 				for sent := 0; sent < *tasks; {
 					n := *batch
 					if rem := *tasks - sent; n > rem {

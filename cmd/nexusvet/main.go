@@ -1,0 +1,26 @@
+// Command nexusvet statically enforces the runtime's concurrency
+// invariants: sorted bank-lock acquisition (lockorder), handle-error
+// consumption (handleleak), context threading (ctxflow), scoped service
+// keys (scopedkey) and the retirement of the legacy Task.Run body (norun).
+// See DESIGN.md "Statically enforced invariants" for the mapping from each
+// analyzer to the hardware guarantee it replaces.
+//
+// Two modes share one suite:
+//
+//	nexusvet ./...                            standalone, loads via go list
+//	go vet -vettool=$(pwd)/bin/nexusvet ./...  the CI gate (unit-checker protocol)
+//
+// Findings exit nonzero. Suppress a finding only with a reasoned
+// directive: //nexusvet:ignore <analyzer> <reason>.
+package main
+
+import (
+	"os"
+
+	"nexuspp/internal/analysis/driver"
+	"nexuspp/internal/analysis/nexusvet"
+)
+
+func main() {
+	os.Exit(driver.Main(os.Args[1:], os.Stdout, os.Stderr, nexusvet.Analyzers()))
+}

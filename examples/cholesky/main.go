@@ -156,14 +156,14 @@ func main() {
 		rt.MustSubmit(nexuspp.Task{
 			Name: fmt.Sprintf("potrf-%d", k),
 			Deps: []nexuspp.Dep{nexuspp.InOut(key(k, k))},
-			Run:  func() { potrf(a[k][k]) },
+			Do:   func(context.Context) error { potrf(a[k][k]); return nil },
 		})
 		for i := k + 1; i < T; i++ {
 			i := i
 			rt.MustSubmit(nexuspp.Task{
 				Name: fmt.Sprintf("trsm-%d-%d", i, k),
 				Deps: []nexuspp.Dep{nexuspp.In(key(k, k)), nexuspp.InOut(key(i, k))},
-				Run:  func() { trsm(a[k][k], a[i][k]) },
+				Do:   func(context.Context) error { trsm(a[k][k], a[i][k]); return nil },
 			})
 		}
 		for i := k + 1; i < T; i++ {
@@ -171,7 +171,7 @@ func main() {
 			rt.MustSubmit(nexuspp.Task{
 				Name: fmt.Sprintf("syrk-%d-%d", i, k),
 				Deps: []nexuspp.Dep{nexuspp.In(key(i, k)), nexuspp.InOut(key(i, i))},
-				Run:  func() { syrk(a[i][k], a[i][i]) },
+				Do:   func(context.Context) error { syrk(a[i][k], a[i][i]); return nil },
 			})
 			for j := k + 1; j < i; j++ {
 				j := j
@@ -181,7 +181,7 @@ func main() {
 						nexuspp.In(key(i, k)), nexuspp.In(key(j, k)),
 						nexuspp.InOut(key(i, j)),
 					},
-					Run: func() { gemm(a[i][k], a[j][k], a[i][j]) },
+					Do: func(context.Context) error { gemm(a[i][k], a[j][k], a[i][j]); return nil },
 				})
 			}
 		}

@@ -68,7 +68,7 @@ func main() {
 		rt.MustSubmit(nexuspp.Task{
 			Name: fmt.Sprintf("pivot-%d", col),
 			Deps: pivotDeps,
-			Run: func() {
+			Do: func(context.Context) error {
 				best := col
 				for r := col + 1; r < *n; r++ {
 					if math.Abs(a[r][col]) > math.Abs(a[best][col]) {
@@ -76,6 +76,7 @@ func main() {
 					}
 				}
 				a[col], a[best] = a[best], a[col]
+				return nil
 			},
 		})
 		// Update tasks T(j,i): eliminate column col from row j. Each reads
@@ -86,12 +87,13 @@ func main() {
 			rt.MustSubmit(nexuspp.Task{
 				Name: fmt.Sprintf("update-%d-%d", row, col),
 				Deps: []nexuspp.Dep{nexuspp.In(col), nexuspp.InOut(row)},
-				Run: func() {
+				Do: func(context.Context) error {
 					f := a[row][col] / a[col][col]
 					a[row][col] = 0
 					for j := col + 1; j <= *n; j++ {
 						a[row][j] -= f * a[col][j]
 					}
+					return nil
 				},
 			})
 		}

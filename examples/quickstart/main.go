@@ -38,7 +38,7 @@ func main() {
 	rt.MustSubmit(nexuspp.Task{
 		Name: "produce-right",
 		Deps: []nexuspp.Dep{nexuspp.Out("right")},
-		Run:  func() { right = 21 }, // the legacy Run form still works
+		Do:   func(context.Context) error { right = 21; return nil },
 	})
 	combine := rt.MustSubmit(nexuspp.Task{
 		Name: "combine",

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -81,8 +82,9 @@ func run(rows, cols, workers int, prefetched *atomic.Int64) [][]block {
 						prefetched.Add(1)
 					}
 				},
-				Run: func() {
+				Do: func(context.Context) error {
 					decode(&grid[r][c], left, upright, int32(r*cols+c))
+					return nil
 				},
 			})
 		}

@@ -1,0 +1,11 @@
+package ctxflow
+
+import (
+	"testing"
+
+	"nexuspp/internal/analysis/analysistest"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "ctxflow")
+}

@@ -1,0 +1,11 @@
+package handleleak
+
+import (
+	"testing"
+
+	"nexuspp/internal/analysis/analysistest"
+)
+
+func TestHandleLeak(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "handleleak")
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suppression convention: a finding may be silenced with a line comment
+//
+//	//nexusvet:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed either on the flagged line itself (trailing) or on the line
+// directly above it. The reason is mandatory — a bare ignore is itself a
+// finding — and so is the analyzer list: blanket suppressions are not
+// accepted. An ignore that suppresses nothing is reported too, so stale
+// suppressions cannot outlive the code they excused.
+const ignorePrefix = "nexusvet:ignore"
+
+// ignoreDirective is one parsed suppression comment.
+type ignoreDirective struct {
+	pos       token.Pos
+	file      string
+	line      int
+	analyzers []string
+	malformed string // non-empty: why the directive is invalid
+	used      bool
+}
+
+// parseIgnores extracts every nexusvet:ignore directive from the files,
+// validating analyzer names against known.
+func parseIgnores(fset *token.FileSet, files []*ast.File, known []string) []*ignoreDirective {
+	isKnown := func(name string) bool {
+		for _, k := range known {
+			if k == name {
+				return true
+			}
+		}
+		return false
+	}
+	var dirs []*ignoreDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// Like //go: directives, the marker must follow // with no
+				// space — "// nexusvet:ignore" is prose, not a directive.
+				text, ok := strings.CutPrefix(c.Text, "//"+ignorePrefix)
+				if !ok || (text != "" && text[0] != ' ' && text[0] != '\t') {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				d := &ignoreDirective{pos: c.Pos(), file: pos.Filename, line: pos.Line}
+				names, reason, _ := strings.Cut(strings.TrimSpace(text), " ")
+				switch {
+				case names == "":
+					d.malformed = "missing analyzer list and reason"
+				case strings.TrimSpace(reason) == "":
+					d.malformed = "missing reason (a suppression must say why)"
+				default:
+					for _, n := range strings.Split(names, ",") {
+						if !isKnown(n) {
+							d.malformed = fmt.Sprintf("unknown analyzer %q", n)
+							break
+						}
+						d.analyzers = append(d.analyzers, n)
+					}
+				}
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs
+}
+
+// ApplyIgnores filters diags through the suppression comments found in
+// files: a well-formed directive silences matching diagnostics on its own
+// line and the line below. Malformed and unused directives are appended as
+// diagnostics of the pseudo-analyzer "nexusvet", so the convention enforces
+// itself.
+func ApplyIgnores(fset *token.FileSet, files []*ast.File, diags []Diagnostic, known []string) []Diagnostic {
+	dirs := parseIgnores(fset, files, known)
+	if len(dirs) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		suppressed := false
+		for _, dir := range dirs {
+			if dir.malformed != "" || dir.file != pos.Filename {
+				continue
+			}
+			if pos.Line != dir.line && pos.Line != dir.line+1 {
+				continue
+			}
+			for _, name := range dir.analyzers {
+				if name == d.Analyzer {
+					dir.used = true
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, dir := range dirs {
+		switch {
+		case dir.malformed != "":
+			kept = append(kept, Diagnostic{
+				Pos:      dir.pos,
+				Message:  "malformed nexusvet:ignore: " + dir.malformed,
+				Analyzer: "nexusvet",
+			})
+		case !dir.used:
+			kept = append(kept, Diagnostic{
+				Pos:      dir.pos,
+				Message:  "nexusvet:ignore suppresses nothing; delete the stale directive",
+				Analyzer: "nexusvet",
+			})
+		}
+	}
+	return kept
+}

@@ -1,0 +1,214 @@
+// Package lockorder enforces the runtime's deadlock-freedom invariant: the
+// lock-striped dependence-table banks may only be acquired in the sorted,
+// deduplicated order that lockBanks derives via sortedUnique. In the
+// Nexus++ hardware the Dependence Table banks are arbitrated by the memory
+// fabric; in software nothing arbitrates two goroutines locking bank i then
+// bank j against two locking j then i — except the global ascending
+// acquisition order, which this analyzer makes a compile-time property.
+//
+// Two rules:
+//
+//  1. A mutex field reached through an index expression (a striped lock,
+//     e.g. rt.banks[i].mu.Lock()) may only be locked inside the canonical
+//     helpers lockBanks and unlockBanks.
+//  2. No function may lock two distinct mutex fields of the same struct
+//     type unless it also derives a sorted order (calls sortedUnique or
+//     the sort/slices packages) — a helper acquiring two banks ad hoc is
+//     exactly the lost-hardware-guarantee this suite exists to restore.
+package lockorder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"nexuspp/internal/analysis"
+)
+
+// Analyzer flags bank-striped mutex acquisitions that bypass the canonical
+// sorted order.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "bank mutexes must be acquired via lockBanks in sortedUnique order",
+	Run:  run,
+}
+
+// canonical names a function allowed to lock striped mutexes directly: the
+// single helper pair whose loop body IS the sorted acquisition order.
+func canonical(name string) bool {
+	return name == "lockBanks" || name == "unlockBanks"
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// lockSite is one m.Lock() call on a sync.Mutex/RWMutex struct field.
+type lockSite struct {
+	pos      ast.Node
+	baseText string // source text of the expression owning the mutex
+	group    string // owning struct type + field name
+	indexed  bool   // mutex reached through an index expression (striped)
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// indexVars tracks locals bound to one striped element,
+	// b := &rt.banks[i], so b.mu.Lock() is recognised as an indexed lock.
+	indexVars := make(map[types.Object]bool)
+	sortsCalled := false
+	var sites []lockSite
+
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if id, ok := n.Lhs[0].(*ast.Ident); ok && isIndexExpr(n.Rhs[0]) {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						indexVars[obj] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if isSortCall(pass, n) {
+				sortsCalled = true
+			}
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Lock" {
+				return true
+			}
+			mutexField, ok := sel.X.(*ast.SelectorExpr)
+			if !ok || !isSyncMutex(pass.TypesInfo.TypeOf(mutexField)) {
+				return true
+			}
+			base := mutexField.X
+			indexed := isIndexExpr(base)
+			if id, ok := base.(*ast.Ident); ok && indexVars[pass.TypesInfo.Uses[id]] {
+				indexed = true
+			}
+			sites = append(sites, lockSite{
+				pos:      n,
+				baseText: exprText(base),
+				group:    groupKey(pass.TypesInfo.TypeOf(base), mutexField.Sel.Name),
+				indexed:  indexed,
+			})
+		}
+		return true
+	})
+
+	for _, s := range sites {
+		if s.indexed && !canonical(fd.Name.Name) {
+			pass.Reportf(s.pos.Pos(),
+				"striped bank mutex locked directly in %s; banks may only be acquired through lockBanks, whose sortedUnique order keeps multi-bank locking deadlock-free",
+				fd.Name.Name)
+		}
+	}
+	if sortsCalled {
+		return
+	}
+	// Rule 2: two locks on distinct same-typed mutex fields, no sort in
+	// sight. Identical source text means a re-acquisition of one mutex
+	// (lock/unlock/lock), which is a liveness question, not an ordering one.
+	byGroup := make(map[string][]lockSite)
+	for _, s := range sites {
+		if s.group != "" {
+			byGroup[s.group] = append(byGroup[s.group], s)
+		}
+	}
+	for _, group := range byGroup {
+		for _, s := range group[1:] {
+			if s.baseText != group[0].baseText {
+				pass.Reportf(s.pos.Pos(),
+					"%s locks two %s mutexes without deriving a sorted order; derive the acquisition order with sortedUnique (or sort) as lockBanks does",
+					fd.Name.Name, s.group)
+				break
+			}
+		}
+	}
+}
+
+// isIndexExpr reports whether e is (possibly &-of, possibly parenthesised)
+// an index expression.
+func isIndexExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.IndexExpr:
+		return true
+	case *ast.UnaryExpr:
+		return isIndexExpr(e.X)
+	case *ast.ParenExpr:
+		return isIndexExpr(e.X)
+	case *ast.StarExpr:
+		return isIndexExpr(e.X)
+	}
+	return false
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex.
+func isSyncMutex(t types.Type) bool {
+	return analysis.IsNamed(t, "sync", "Mutex") || analysis.IsNamed(t, "sync", "RWMutex")
+}
+
+// groupKey names the (owning struct type, mutex field) pair so distinct
+// instances of the same striped lock family compare equal.
+func groupKey(owner types.Type, field string) string {
+	if owner == nil {
+		return ""
+	}
+	if p, ok := owner.(*types.Pointer); ok {
+		owner = p.Elem()
+	}
+	n, ok := types.Unalias(owner).(*types.Named)
+	if !ok {
+		return ""
+	}
+	return n.Obj().Name() + "." + field
+}
+
+// isSortCall reports whether the call derives an order: sortedUnique, or
+// anything from the sort/slices packages.
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "sortedUnique"
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "sortedUnique" {
+			return true
+		}
+		if obj, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && obj.Pkg() != nil {
+			return obj.Pkg().Path() == "sort" || obj.Pkg().Path() == "slices"
+		}
+	}
+	return false
+}
+
+// exprText renders the lock owner expression for same-mutex comparison;
+// a conservative printer over the identifier/selector/index shapes locks
+// are reached through.
+func exprText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprText(e.X) + "[" + exprText(e.Index) + "]"
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprText(e.X)
+	case *ast.ParenExpr:
+		return "(" + exprText(e.X) + ")"
+	case *ast.StarExpr:
+		return "*" + exprText(e.X)
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.CallExpr:
+		return exprText(e.Fun) + "(…)"
+	}
+	return "?"
+}

@@ -1,0 +1,11 @@
+package lockorder
+
+import (
+	"testing"
+
+	"nexuspp/internal/analysis/analysistest"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "lockorder")
+}

@@ -1,0 +1,26 @@
+// Package nexusvet assembles the project's analyzer suite — the five
+// statically enforced concurrency invariants documented in DESIGN.md
+// ("Statically enforced invariants"). The drivers (cmd/nexusvet standalone
+// mode and the go vet -vettool unit-checker protocol) both run exactly this
+// list, so local runs and CI cannot disagree about what is checked.
+package nexusvet
+
+import (
+	"nexuspp/internal/analysis"
+	"nexuspp/internal/analysis/ctxflow"
+	"nexuspp/internal/analysis/handleleak"
+	"nexuspp/internal/analysis/lockorder"
+	"nexuspp/internal/analysis/norun"
+	"nexuspp/internal/analysis/scopedkey"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxflow.Analyzer,
+		handleleak.Analyzer,
+		lockorder.Analyzer,
+		norun.Analyzer,
+		scopedkey.Analyzer,
+	}
+}

@@ -1,0 +1,65 @@
+// Package norun retires the legacy Task.Run body. Run (no context, cannot
+// fail) predates the handle/error redesign: a Run task cannot observe
+// cancellation and can never poison its dependents with a root cause, so
+// every Run use is a hole in the failure-propagation story. The field
+// survives only for the compatibility adapter in internal/starss (Task.body
+// adapts Run to Do), and that package's own tests, which pin the adapter's
+// behaviour. Everywhere else, tasks must use Do(ctx) error.
+package norun
+
+import (
+	"go/ast"
+
+	"nexuspp/internal/analysis"
+)
+
+// starssPath is the one package allowed to mention Task.Run: the home of
+// the compatibility adapter and of the tests that pin it.
+const starssPath = "nexuspp/internal/starss"
+
+// Analyzer flags every assignment to the legacy Task.Run field outside the
+// compatibility adapter's package.
+var Analyzer = &analysis.Analyzer{
+	Name: "norun",
+	Doc:  "the legacy Task.Run body is forbidden outside the starss compatibility adapter; use Do(ctx) error",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == starssPath {
+		return nil
+	}
+	isTask := func(e ast.Expr) bool {
+		return analysis.IsNamed(pass.TypesInfo.TypeOf(e), starssPath, "Task")
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if !isTask(n) {
+					return true
+				}
+				for _, el := range n.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Run" {
+						pass.Reportf(kv.Pos(),
+							"legacy Task.Run body outside the compatibility adapter; use Do: func(ctx context.Context) error so the task can observe cancellation and report failure")
+					}
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if ok && sel.Sel.Name == "Run" && isTask(sel.X) {
+						pass.Reportf(sel.Pos(),
+							"legacy Task.Run body outside the compatibility adapter; use Do: func(ctx context.Context) error so the task can observe cancellation and report failure")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+package norun
+
+import (
+	"testing"
+
+	"nexuspp/internal/analysis/analysistest"
+)
+
+func TestNoRun(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "norun")
+}

@@ -1,0 +1,62 @@
+// Package scopedkey guards the multi-tenant isolation boundary. The
+// service layer shares one Runtime between every client session; isolation
+// holds only because each session's keys are rewritten into a
+// ScopedKey{Scope, Key} namespace by starss.Scope before they reach the
+// shared dependence banks — the software analogue of per-master address
+// spaces under the one hardware task manager. A single direct
+// Runtime.Submit inside internal/service would let one tenant's raw keys
+// alias another's, silently coupling their task graphs. This analyzer makes
+// the detour through Scope mandatory.
+package scopedkey
+
+import (
+	"go/ast"
+	"strings"
+
+	"nexuspp/internal/analysis"
+)
+
+const starssPath = "nexuspp/internal/starss"
+
+// Analyzer forbids key-accepting *starss.Runtime calls inside the service
+// layer; client keys must pass through starss.Scope.
+var Analyzer = &analysis.Analyzer{
+	Name: "scopedkey",
+	Doc:  "inside internal/service, client keys must be namespaced via starss.Scope, never submitted raw to the shared Runtime",
+	Run:  run,
+}
+
+// keyed is the set of Runtime methods that consume dependency keys and are
+// therefore tenant-unsafe without scope rewriting. Lifecycle methods
+// (Close, Stats, InFlight, …) take no keys and stay allowed.
+var keyed = map[string]bool{
+	"Submit":     true,
+	"SubmitAll":  true,
+	"MustSubmit": true,
+	"WaitOn":     true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !strings.Contains(pass.Pkg.Path(), "internal/service") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !keyed[sel.Sel.Name] {
+				return true
+			}
+			if analysis.IsNamed(pass.TypesInfo.TypeOf(sel.X), starssPath, "Runtime") {
+				pass.Reportf(call.Pos(),
+					"raw client keys reach the shared Runtime via Runtime.%s; in the service layer submit through starss.Scope (Runtime.Scope) so tenant keys are namespaced",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+package scopedkey
+
+import (
+	"testing"
+
+	"nexuspp/internal/analysis/analysistest"
+)
+
+func TestScopedKey(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "nexuspp/internal/service")
+}
+
+// Outside internal/service the same raw calls are fine; the fixture has
+// no want comments, so any finding fails the test.
+func TestScopedKeySkipsOtherPackages(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "unscoped")
+}

@@ -1,0 +1,81 @@
+// Fixture for the lockorder analyzer: striped bank mutexes may only be
+// locked inside lockBanks/unlockBanks, and no function may lock two
+// same-family mutexes without deriving a sorted order first.
+package lockorder
+
+import (
+	"sort"
+	"sync"
+)
+
+type bank struct {
+	mu   sync.Mutex
+	segs map[int]int
+}
+
+type runtime struct {
+	banks []bank
+}
+
+// Rule 1: a striped lock outside the canonical helpers.
+func (rt *runtime) bad(i int) {
+	rt.banks[i].mu.Lock() // want "striped bank mutex locked directly in bad"
+	rt.banks[i].mu.Unlock()
+}
+
+// A local alias of a striped element is still a striped lock.
+func (rt *runtime) badAlias(i int) {
+	b := &rt.banks[i]
+	b.mu.Lock() // want "striped bank mutex locked directly in badAlias"
+	b.mu.Unlock()
+}
+
+// The canonical helper pair is the one place striped locking is allowed.
+func (rt *runtime) lockBanks(idx []int) {
+	for _, i := range idx {
+		rt.banks[i].mu.Lock()
+	}
+}
+
+func (rt *runtime) unlockBanks(idx []int) {
+	for _, i := range idx {
+		rt.banks[i].mu.Unlock()
+	}
+}
+
+type account struct {
+	mu      sync.Mutex
+	balance int
+}
+
+// Rule 2: two distinct mutexes of one struct family, no order derived —
+// the classic transfer deadlock.
+func transferBad(a, b *account) {
+	a.mu.Lock()
+	b.mu.Lock() // want "locks two account.mu mutexes without deriving a sorted order"
+	b.balance += a.balance
+	a.balance = 0
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// Deriving an order with the sort package satisfies rule 2.
+func transferSorted(a, b *account, order []int) {
+	sort.Ints(order)
+	a.mu.Lock()
+	b.mu.Lock()
+	b.balance += a.balance
+	a.balance = 0
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// Re-acquiring the same mutex is a liveness question, not an ordering one.
+func reacquire(a *account) {
+	a.mu.Lock()
+	a.balance++
+	a.mu.Unlock()
+	a.mu.Lock()
+	a.balance--
+	a.mu.Unlock()
+}

@@ -1,0 +1,47 @@
+// Fixture for the scopedkey analyzer, placed at the real service path so
+// the analyzer's package-path scoping applies: raw client keys must pass
+// through starss.Scope before reaching the shared Runtime.
+package service
+
+import (
+	"context"
+
+	"nexuspp/internal/starss"
+)
+
+type server struct {
+	rt    *starss.Runtime
+	scope *starss.Scope
+}
+
+func (s *server) submitRaw(ctx context.Context, t starss.Task) error {
+	_, err := s.rt.Submit(ctx, t) // want "raw client keys reach the shared Runtime via Runtime.Submit"
+	return err
+}
+
+func (s *server) submitBatchRaw(ctx context.Context, ts []starss.Task) error {
+	_, err := s.rt.SubmitAll(ctx, ts) // want "raw client keys reach the shared Runtime via Runtime.SubmitAll"
+	return err
+}
+
+func (s *server) waitRaw(ctx context.Context, k starss.Key) error {
+	return s.rt.WaitOn(ctx, k) // want "raw client keys reach the shared Runtime via Runtime.WaitOn"
+}
+
+// The sanctioned detour: keys are namespaced by the session's scope.
+func (s *server) submitScoped(ctx context.Context, t starss.Task) error {
+	_, err := s.scope.Submit(ctx, t)
+	return err
+}
+
+func (s *server) waitScoped(ctx context.Context, k starss.Key) error {
+	return s.scope.WaitOn(ctx, k)
+}
+
+// Keyless lifecycle methods never carry tenant keys and stay allowed.
+func (s *server) shutdown(ctx context.Context) error {
+	if err := s.rt.Wait(ctx); err != nil {
+		return err
+	}
+	return s.rt.Close()
+}

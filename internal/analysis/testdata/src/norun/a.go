@@ -1,0 +1,44 @@
+// Fixture for the norun analyzer: the legacy Task.Run body is forbidden
+// outside the starss compatibility adapter. Also exercises the
+// nexusvet:ignore convention end to end: the suppressed site below must
+// stay silent, and the directive must not be reported as stale.
+package norun
+
+import (
+	"context"
+
+	"nexuspp/internal/starss"
+)
+
+func modern(rt *starss.Runtime) *starss.Handle {
+	return rt.MustSubmit(starss.Task{
+		Do: func(context.Context) error { return nil },
+	})
+}
+
+func literal(rt *starss.Runtime) *starss.Handle {
+	return rt.MustSubmit(starss.Task{
+		Run: func() {}, // want "legacy Task.Run body outside the compatibility adapter"
+	})
+}
+
+func assigned() starss.Task {
+	var t starss.Task
+	t.Run = func() {} // want "legacy Task.Run body outside the compatibility adapter"
+	return t
+}
+
+// A reasoned suppression silences the finding without a want here; if
+// suppression broke, the diagnostic would surface as unexpected, and if
+// the directive went stale, the stale report would surface instead.
+func suppressed(rt *starss.Runtime) *starss.Handle {
+	//nexusvet:ignore norun pinned legacy form: this fixture asserts the suppression convention works
+	return rt.MustSubmit(starss.Task{Run: func() {}})
+}
+
+// A func-typed field that is not starss.Task stays out of scope.
+type job struct{ Run func() }
+
+func unrelated() job {
+	return job{Run: func() {}}
+}

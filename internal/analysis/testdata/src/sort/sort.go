@@ -1,0 +1,5 @@
+// Package sort is a fixture stub shadowing the standard library for
+// analyzer tests.
+package sort
+
+func Ints(x []int) {}

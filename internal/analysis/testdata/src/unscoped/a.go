@@ -1,0 +1,18 @@
+// Negative fixture for the scopedkey analyzer: identical raw Runtime
+// calls outside internal/service are legitimate (examples, benchmarks,
+// the facade) and must produce no findings — this file carries no want
+// comments on purpose.
+package unscoped
+
+import (
+	"context"
+
+	"nexuspp/internal/starss"
+)
+
+func direct(ctx context.Context, rt *starss.Runtime, t starss.Task) error {
+	if _, err := rt.Submit(ctx, t); err != nil {
+		return err
+	}
+	return rt.WaitOn(ctx, "raw-key")
+}

@@ -305,7 +305,7 @@ func TestSubmitAllCancelledOnFullWindow(t *testing.T) {
 
 func TestSubmitRejectsDeadContext(t *testing.T) {
 	rt := New(Config{Workers: 1})
-	defer rt.Close()
+	defer mustClose(t, rt)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	if _, err := rt.Submit(ctx, Task{Run: func() {}}); !errors.Is(err, context.Canceled) {
@@ -441,7 +441,7 @@ func TestHandleErrNilWhilePending(t *testing.T) {
 	if !errors.Is(h.Err(), errBoom) {
 		t.Fatalf("done handle Err = %v", h.Err())
 	}
-	rt.Close()
+	_ = rt.Close() // the failure was already observed via h.Err above
 }
 
 func TestHandleWaitCancellation(t *testing.T) {

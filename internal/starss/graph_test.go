@@ -10,7 +10,7 @@ import (
 
 func TestWaitOnKeys(t *testing.T) {
 	rt := New(Config{Workers: 4})
-	defer rt.Close()
+	defer mustClose(t, rt)
 	var aDone, bDone atomic.Bool
 	block := make(chan struct{})
 	rt.MustSubmit(Task{
@@ -38,7 +38,7 @@ func TestWaitOnKeys(t *testing.T) {
 
 func TestWaitOnUnusedKeyReturnsImmediately(t *testing.T) {
 	rt := New(Config{Workers: 1})
-	defer rt.Close()
+	defer mustClose(t, rt)
 	rt.WaitOn(context.Background(), "never-used") // must not hang
 	rt.WaitOn(context.Background())               // empty key set is a no-op
 }
@@ -47,7 +47,7 @@ func TestWaitOnAfterClose(t *testing.T) {
 	// Regression: WaitOn used to return silently after shutdown; it must
 	// report ErrStopped instead of pretending the keys went quiet.
 	rt := New(Config{Workers: 1})
-	rt.Close()
+	mustClose(t, rt)
 	if err := rt.WaitOn(context.Background(), "x"); err != ErrStopped {
 		t.Fatalf("WaitOn after Close = %v, want ErrStopped", err)
 	}
@@ -84,7 +84,7 @@ func TestGraphRecording(t *testing.T) {
 			t.Errorf("missing edge %d->%d in %v", e[0], e[1], edges)
 		}
 	}
-	rt.Close()
+	mustClose(t, rt)
 	// The graph stays readable after shutdown.
 	names2, edges2 := rt.Graph()
 	if len(names2) != 4 || len(edges2) != 5 {
@@ -100,7 +100,7 @@ func TestGraphDisabledIsEmpty(t *testing.T) {
 	if len(names) != 0 || len(edges) != 0 {
 		t.Fatalf("recording disabled but graph = %v %v", names, edges)
 	}
-	rt.Close()
+	mustClose(t, rt)
 }
 
 func TestExportDOT(t *testing.T) {
@@ -112,7 +112,7 @@ func TestExportDOT(t *testing.T) {
 	if err := rt.ExportDOT(&buf); err != nil {
 		t.Fatal(err)
 	}
-	rt.Close()
+	mustClose(t, rt)
 	out := buf.String()
 	for _, want := range []string{"digraph starss {", `t0 [label="producer"]`, `t1 [label="task1"]`, "t0 -> t1;", "}"} {
 		if !strings.Contains(out, want) {
@@ -129,7 +129,7 @@ func TestGraphMatchesHazardSemantics(t *testing.T) {
 	}
 	rt.Wait(context.Background())
 	_, edges := rt.Graph()
-	rt.Close()
+	mustClose(t, rt)
 	if len(edges) != 9 {
 		t.Fatalf("chain of 10 should record 9 edges, got %d", len(edges))
 	}

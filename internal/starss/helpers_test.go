@@ -1,0 +1,15 @@
+package starss
+
+import "testing"
+
+// mustClose shuts the runtime down and fails the test if Close reports a
+// task failure. Close is the run's last error barrier (it returns the
+// first root-cause failure), so tests that are not exercising the error
+// path must not drop its result — nexusvet's handleleak analyzer enforces
+// exactly that. Tests that expect failures check Close inline instead.
+func mustClose(t testing.TB, rt interface{ Close() error }) {
+	t.Helper()
+	if err := rt.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}

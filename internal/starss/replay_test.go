@@ -81,7 +81,7 @@ func TestReplayOnBothRuntimes(t *testing.T) {
 // the context's error instead of wedging on the barrier.
 func TestReplayHonoursCancellation(t *testing.T) {
 	rt := New(Config{Workers: 1})
-	defer rt.Close()
+	defer mustClose(t, rt)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	_, err := Replay(ctx, rt, chainTrace(), ReplayOptions{})

@@ -21,13 +21,13 @@ func TestShardsRoundedToPowerOfTwo(t *testing.T) {
 		if got := len(rt.banks); got != tc.want {
 			t.Errorf("Shards %d rounded to %d banks, want %d", tc.in, got, tc.want)
 		}
-		rt.Close()
+		mustClose(t, rt)
 	}
 	rt := New(Config{Workers: 4})
 	if got := len(rt.banks); got != nextPow2(defaultShards(4)) {
 		t.Errorf("default shards = %d", got)
 	}
-	rt.Close()
+	mustClose(t, rt)
 }
 
 func TestSingleShardPreservesSemantics(t *testing.T) {
@@ -47,7 +47,7 @@ func TestSingleShardPreservesSemantics(t *testing.T) {
 			},
 		})
 	}
-	rt.Close()
+	mustClose(t, rt)
 	for i, v := range order {
 		if v != i {
 			t.Fatalf("chain order broken at %d: %v", i, order[:i+1])
@@ -85,7 +85,7 @@ func TestMultiKeyTasksAcrossBanks(t *testing.T) {
 				},
 			})
 		}
-		rt.Close()
+		mustClose(t, rt)
 		if len(h.bad) > 0 {
 			t.Fatalf("shards=%d: hazard violations: %v", shards, h.bad[:min(5, len(h.bad))])
 		}
@@ -116,7 +116,7 @@ func TestConcurrentSubmitters(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	rt.Close()
+	mustClose(t, rt)
 	if executed.Load() != goroutines*perG {
 		t.Fatalf("executed %d of %d", executed.Load(), goroutines*perG)
 	}
@@ -146,7 +146,7 @@ func TestSubmitAllOrdering(t *testing.T) {
 	if _, err := rt.SubmitAll(context.Background(), tasks); err != nil {
 		t.Fatal(err)
 	}
-	rt.Close()
+	mustClose(t, rt)
 	if len(order) != len(tasks) {
 		t.Fatalf("ran %d of %d", len(order), len(tasks))
 	}
@@ -169,7 +169,7 @@ func TestSubmitAllLargerThanWindow(t *testing.T) {
 	if _, err := rt.SubmitAll(context.Background(), tasks); err != nil {
 		t.Fatal(err)
 	}
-	rt.Close()
+	mustClose(t, rt)
 	if n.Load() != 100 {
 		t.Fatalf("executed %d of 100", n.Load())
 	}
@@ -195,7 +195,7 @@ func TestSubmitAllValidation(t *testing.T) {
 	if _, err := rt.SubmitAll(context.Background(), nil); err != nil {
 		t.Fatalf("empty batch: %v", err)
 	}
-	rt.Close()
+	mustClose(t, rt)
 	if _, err := rt.SubmitAll(context.Background(), []Task{{Run: func() {}}}); err != ErrStopped {
 		t.Fatalf("SubmitAll after Close = %v, want ErrStopped", err)
 	}
@@ -224,7 +224,7 @@ func TestSubmitAllRAWAcrossBatches(t *testing.T) {
 			sum += v
 		}
 	}})
-	rt.Close()
+	mustClose(t, rt)
 	want := 0
 	for i := range data {
 		want += i + 1
@@ -236,7 +236,7 @@ func TestSubmitAllRAWAcrossBatches(t *testing.T) {
 
 func TestBankIndexStable(t *testing.T) {
 	rt := New(Config{Workers: 1, Shards: 16})
-	defer rt.Close()
+	defer mustClose(t, rt)
 	for _, k := range []Key{"a", 7, [2]int{1, 2}, 3.5} {
 		i, j := rt.bankIndex(k), rt.bankIndex(k)
 		if i != j {
@@ -267,7 +267,7 @@ func TestMaestroBaselineSemantics(t *testing.T) {
 		})
 	}
 	rt.Wait(context.Background())
-	rt.Close()
+	mustClose(t, rt)
 	for i, v := range order {
 		if v != i {
 			t.Fatalf("maestro chain order broken at %d: %v", i, order[:i+1])
@@ -314,7 +314,7 @@ func TestConcurrentSubmitAll(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("concurrent SubmitAll deadlocked on window tokens")
 	}
-	rt.Close()
+	mustClose(t, rt)
 	if executed.Load() != batches*perBatch {
 		t.Fatalf("executed %d of %d", executed.Load(), batches*perBatch)
 	}

@@ -53,7 +53,7 @@ func TestBasicExecution(t *testing.T) {
 			Run:  func() { count.Add(1) },
 		})
 	}
-	rt.Close()
+	mustClose(t, rt)
 	if count.Load() != 100 {
 		t.Fatalf("executed %d of 100", count.Load())
 	}
@@ -78,7 +78,7 @@ func TestChainOrdering(t *testing.T) {
 			},
 		})
 	}
-	rt.Close()
+	mustClose(t, rt)
 	if len(order) != 50 {
 		t.Fatalf("ran %d", len(order))
 	}
@@ -112,7 +112,7 @@ func TestRAWVisibility(t *testing.T) {
 			}
 		},
 	})
-	rt.Close()
+	mustClose(t, rt)
 	want := 0
 	for i := 0; i < 10; i++ {
 		want += i * i
@@ -149,7 +149,7 @@ func TestSubmitErrors(t *testing.T) {
 
 func TestBarrierWaitsForAll(t *testing.T) {
 	rt := New(Config{Workers: 4})
-	defer rt.Close()
+	defer mustClose(t, rt)
 	var done atomic.Int64
 	for i := 0; i < 64; i++ {
 		rt.MustSubmit(Task{
@@ -240,7 +240,7 @@ func TestHazardExclusion(t *testing.T) {
 			},
 		})
 	}
-	rt.Close()
+	mustClose(t, rt)
 	if len(h.bad) > 0 {
 		t.Fatalf("hazard violations: %v", h.bad[:min(5, len(h.bad))])
 	}
@@ -286,7 +286,7 @@ func TestPrefetchOverlap(t *testing.T) {
 		},
 		Run: func() {},
 	})
-	rt.Close()
+	mustClose(t, rt)
 	if !overlapped.Load() {
 		t.Fatal("no prefetch overlapped execution with double buffering")
 	}
@@ -313,7 +313,7 @@ func TestDepthOneNoPipelineOverlap(t *testing.T) {
 			},
 		})
 	}
-	rt.Close()
+	mustClose(t, rt)
 	if overlapped.Load() {
 		t.Fatal("prefetch overlapped execution despite depth 1")
 	}
@@ -333,7 +333,7 @@ func TestWriteBackRuns(t *testing.T) {
 		Deps: []Dep{In("v")},
 		Run:  func() { consumed = produced },
 	})
-	rt.Close()
+	mustClose(t, rt)
 	if wrote.Load() != 1 {
 		t.Fatal("WriteBack did not run")
 	}
@@ -360,7 +360,7 @@ func TestWindowBackPressure(t *testing.T) {
 	}
 	close(block)
 	<-done
-	rt.Close()
+	mustClose(t, rt)
 	if got := rt.Stats().MaxInFlight; got > 4 {
 		t.Fatalf("in-flight %d exceeded window 4", got)
 	}
@@ -405,7 +405,9 @@ func TestRandomGraphsProperty(t *testing.T) {
 				return false
 			}
 		}
-		rt.Close()
+		if err := rt.Close(); err != nil {
+			return false
+		}
 		return len(h.bad) == 0 && rt.Stats().Executed == uint64(n)
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {

@@ -52,11 +52,11 @@ func TestFacadeRuntime(t *testing.T) {
 	var n atomic.Int64
 	rt.MustSubmit(nexuspp.Task{
 		Deps: []nexuspp.Dep{nexuspp.Out("x")},
-		Run:  func() { order = append(order, "w"); n.Add(1) },
+		Do:   func(context.Context) error { order = append(order, "w"); n.Add(1); return nil },
 	})
 	rt.MustSubmit(nexuspp.Task{
 		Deps: []nexuspp.Dep{nexuspp.In("x"), nexuspp.InOut("y")},
-		Run:  func() { order = append(order, "r"); n.Add(1) },
+		Do:   func(context.Context) error { order = append(order, "r"); n.Add(1); return nil },
 	})
 	if err := rt.Close(); err != nil {
 		t.Fatal(err)
@@ -79,7 +79,7 @@ func TestFacadeErrorPropagation(t *testing.T) {
 	}
 	dep := rt.MustSubmit(nexuspp.Task{
 		Deps: []nexuspp.Dep{nexuspp.In("x")},
-		Run:  func() { t.Error("dependent of failed producer ran") },
+		Do:   func(context.Context) error { t.Error("dependent of failed producer ran"); return nil },
 	})
 	if err := rt.Wait(context.Background()); !errors.Is(err, boom) {
 		t.Fatalf("Wait = %v, want root cause", err)
@@ -129,7 +129,8 @@ func ExampleNewRuntime() {
 	})
 	rt.MustSubmit(nexuspp.Task{
 		Deps: []nexuspp.Dep{nexuspp.InOut("block")},
-		Run:  func() { block++ }, // the legacy Run form still works
+		//nexusvet:ignore norun this Example is the documented legacy-adapter demo; everything else uses Do
+		Run: func() { block++ }, // the legacy Run form still works
 	})
 	if err := rt.Wait(context.Background()); err != nil {
 		panic(err)
@@ -181,7 +182,7 @@ func ExampleRuntime_SubmitAll() {
 		i := i
 		tasks[i] = nexuspp.Task{
 			Deps: []nexuspp.Dep{nexuspp.Out(i)},
-			Run:  func() { squares[i] = i * i },
+			Do:   func(context.Context) error { squares[i] = i * i; return nil },
 		}
 	}
 	handles, err := rt.SubmitAll(context.Background(), tasks)
