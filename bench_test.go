@@ -334,6 +334,44 @@ func BenchmarkShardScalability(b *testing.B) {
 	}
 }
 
+// BenchmarkObsOverhead is the observability overhead guard: the same
+// Submit→completion loop with the event layer off (the default — must stay
+// within noise of the uninstrumented runtime, since "off" costs one nil
+// check per emission point), with bank counters, and with full event
+// recording. CI runs it at -benchtime=1x as a smoke; compare off vs the
+// BENCH_<pr>.json trajectory for the regression check.
+func BenchmarkObsOverhead(b *testing.B) {
+	configs := []struct {
+		name string
+		cfg  starss.Config
+	}{
+		{"off", starss.Config{Workers: 4, Window: 256}},
+		{"counters", starss.Config{Workers: 4, Window: 256, BankCounters: true}},
+		{"events", starss.Config{Workers: 4, Window: 256, EventBuffer: 4096}},
+	}
+	for _, tc := range configs {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			rt := starss.New(tc.cfg)
+			defer rt.Close()
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rt.Submit(ctx, starss.Task{
+					Deps: []starss.Dep{starss.InOut(i % 64)},
+					Do:   func(context.Context) error { return nil },
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := rt.Wait(ctx); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+		})
+	}
+}
+
 // BenchmarkSubmitAll measures the batch-admission amortisation against
 // task-at-a-time Submit on the same independent-keys workload.
 func BenchmarkSubmitAll(b *testing.B) {

@@ -10,6 +10,7 @@
 //	nexusbench exp    [flags] [experiment...]
 //	nexusbench serve  [-addr=<url>] [-clients=N] [-tasks=N] [flags]
 //	nexusbench bench  [-out=<path>] [-seed=N] [-repeat=N]
+//	nexusbench trace  [-workload=<name>] [-o=trace.json] [flags]
 //
 // `run` executes one workload on one backend — or on every registered
 // backend with -backend=all — and prints one unified report row per engine:
@@ -35,6 +36,10 @@
 //
 // `bench` records the fixed performance sweep committed as BENCH_<pr>.json:
 // maestro vs the sharded runtime on zero-cost replays.
+//
+// `trace` replays one workload on the instrumented sharded runtime and
+// writes its lifecycle event log as Chrome trace-viewer JSON for
+// chrome://tracing / Perfetto timeline inspection.
 //
 // Unknown backend, workload, or experiment names fail with an error listing
 // the valid names.
@@ -74,6 +79,8 @@ func main() {
 			os.Exit(serveCmd(args[1:]))
 		case "bench":
 			os.Exit(benchCmd(args[1:]))
+		case "trace":
+			os.Exit(traceCmd(args[1:]))
 		case "help", "-h", "-help", "--help":
 			usage(os.Stdout)
 			os.Exit(0)
@@ -90,6 +97,7 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, "       nexusbench exp [flags] [experiment...]")
 	fmt.Fprintln(w, "       nexusbench serve [-addr=<url>] [-clients=N] [-tasks=N] [flags]")
 	fmt.Fprintln(w, "       nexusbench bench [-out=<path>] [-seed=N] [-repeat=N]")
+	fmt.Fprintln(w, "       nexusbench trace [-backend=runtime] [-workload=<name>] [-o=trace.json] [flags]")
 	fmt.Fprintln(w, "run 'nexusbench list' for backends and workloads,")
 	fmt.Fprintln(w, "    'nexusbench exp unknown' for the experiment names.")
 }

@@ -7,9 +7,11 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
+	"nexuspp/internal/obs"
 	"nexuspp/internal/service"
 )
 
@@ -149,12 +151,27 @@ func serveCmd(args []string) int {
 			r.client, *tasks, r.elapsed.Round(time.Millisecond), r.retries, status)
 	}
 	if dbg, err := client.Debug(ctx); err == nil {
-		fmt.Printf("server: sessions=%d submitted=%d executed=%d failed=%d skipped=%d in_flight=%d goroutines=%d\n",
+		fmt.Printf("server: sessions=%d submitted=%d executed=%d failed=%d skipped=%d in_flight=%d goroutines=%d bank-acq=%d bank-contended=%d\n",
 			dbg.Sessions, dbg.Runtime.Submitted, dbg.Runtime.Executed, dbg.Runtime.Failed,
-			dbg.Runtime.Skipped, dbg.Runtime.InFlight, dbg.Goroutines)
+			dbg.Runtime.Skipped, dbg.Runtime.InFlight, dbg.Goroutines,
+			dbg.Runtime.BankAcquisitions, dbg.Runtime.BankContended)
 	} else {
 		fmt.Fprintf(os.Stderr, "nexusbench serve: debug: %v\n", err)
 		exit = 1
+	}
+	// The smoke also gates the metrics endpoint: the body must be valid
+	// Prometheus text exposition and carry the bank-contention counters.
+	if body, err := client.Metrics(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "nexusbench serve: metrics: %v\n", err)
+		exit = 1
+	} else if n, err := obs.ValidatePrometheus(body); err != nil {
+		fmt.Fprintf(os.Stderr, "nexusbench serve: metrics: malformed exposition: %v\n", err)
+		exit = 1
+	} else if !strings.Contains(body, "nexuspp_bank_acquisitions_total") {
+		fmt.Fprintf(os.Stderr, "nexusbench serve: metrics: bank-contention counters missing\n")
+		exit = 1
+	} else {
+		fmt.Printf("metrics: %d samples, exposition valid\n", n)
 	}
 	total := uint64(*clients) * uint64(*tasks)
 	fmt.Printf("total: %d tasks across %d sessions in %v (%.0f tasks/s)\n",

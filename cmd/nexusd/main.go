@@ -17,7 +17,10 @@
 //	POST   /v1/sessions/{id}/await    wait for task completion
 //	GET    /v1/sessions/{id}/stats    per-session counters
 //	DELETE /v1/sessions/{id}          graceful drain
-//	GET    /debug                     server-wide counters
+//	GET    /debug                     server-wide counters (JSON)
+//	GET    /metrics                   the same counters plus bank-contention
+//	                                  instrumentation in Prometheus text
+//	                                  exposition format
 //	GET    /healthz                   liveness
 //
 // On SIGINT/SIGTERM the daemon stops accepting requests, drains every

@@ -96,3 +96,26 @@ func closeAfterBarrier(ctx context.Context, rt *starss.Runtime) error {
 	defer rt.Close()
 	return rt.Wait(ctx)
 }
+
+// The event stream carries no obligation: Recorder.Drain returns data, not
+// an error, and the recorder has no Close — draining (or not draining) must
+// never be flagged. The handle duty is unchanged and discharged here by the
+// checked barrier.
+func drainEvents(ctx context.Context, rt *starss.Runtime) error {
+	rt.MustSubmit(starss.Task{})
+	if err := rt.Wait(ctx); err != nil {
+		return err
+	}
+	events := rt.Events().Drain()
+	_ = rt.Events().Dropped()
+	_ = events
+	return nil
+}
+
+// Dropping the drained slice outright is equally fine — events are
+// diagnostics, not completion state.
+func drainDiscarded(rt *starss.Runtime) {
+	defer shutdown(rt)
+	rt.MustSubmit(starss.Task{})
+	rt.Events().Drain()
+}

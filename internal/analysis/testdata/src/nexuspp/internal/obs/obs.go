@@ -1,0 +1,23 @@
+// Package obs is a type-level stub of the real observability layer for
+// analyzer fixtures: the Recorder's drain API deliberately has no
+// error-returning Close, so handleleak fixtures can pin that draining the
+// event stream carries no handle- or Close-style obligation.
+package obs
+
+type Kind uint8
+
+type Event struct {
+	Kind   Kind
+	Task   uint64
+	Keys   int
+	Bank   int
+	Worker int
+	TS     int64
+}
+
+type Recorder struct{}
+
+func (r *Recorder) Drain() []Event    { return nil }
+func (r *Recorder) Dropped() uint64   { return 0 }
+func (r *Recorder) Lanes() int        { return 0 }
+func (r *Recorder) ExternalLane() int { return 0 }

@@ -4,7 +4,11 @@
 // are empty.
 package starss
 
-import "context"
+import (
+	"context"
+
+	"nexuspp/internal/obs"
+)
 
 type Key = any
 
@@ -46,6 +50,7 @@ func (rt *Runtime) Wait(ctx context.Context) error                              
 func (rt *Runtime) WaitOn(ctx context.Context, keys ...Key) error                  { return nil }
 func (rt *Runtime) Close() error                                                   { return nil }
 func (rt *Runtime) Scope(name string) *Scope                                       { return nil }
+func (rt *Runtime) Events() *obs.Recorder                                          { return nil }
 
 type Scope struct{ rt *Runtime }
 

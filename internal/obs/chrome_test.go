@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current exporter output")
+
+// smallWavefrontEvents is a hand-built, fully deterministic event log for a
+// 2x2 anti-diagonal wavefront on two workers: task 0 unblocks tasks 1 and 2,
+// which unblock task 3; task 3's row poisons nothing but task 2 is skipped
+// to exercise the poison slice path. Timestamps are synthetic nanoseconds.
+func smallWavefrontEvents() []Event {
+	return []Event{
+		{Kind: KindSubmit, Task: 0, Keys: 1, Bank: 0, Worker: -1, TS: 1000},
+		{Kind: KindReady, Task: 0, Keys: 1, Bank: 0, Worker: -1, TS: 1500},
+		{Kind: KindSubmit, Task: 1, Keys: 2, Bank: 0, Worker: -1, TS: 2000},
+		{Kind: KindSubmit, Task: 2, Keys: 2, Bank: 1, Worker: -1, TS: 2500},
+		{Kind: KindSubmit, Task: 3, Keys: 2, Bank: 0, Worker: -1, TS: 3000},
+		{Kind: KindRun, Task: 0, Keys: 1, Bank: 0, Worker: 0, TS: 4000},
+		{Kind: KindFinish, Task: 0, Keys: 1, Bank: 0, Worker: 0, TS: 9000},
+		{Kind: KindReady, Task: 1, Keys: 2, Bank: 0, Worker: 0, TS: 9200},
+		{Kind: KindReady, Task: 2, Keys: 2, Bank: 1, Worker: 0, TS: 9400},
+		{Kind: KindRun, Task: 1, Keys: 2, Bank: 0, Worker: 0, TS: 10000},
+		{Kind: KindRun, Task: 2, Keys: 2, Bank: 1, Worker: 1, TS: 10500},
+		{Kind: KindPoison, Task: 2, Keys: 2, Bank: 1, Worker: 1, TS: 10600},
+		{Kind: KindFinish, Task: 1, Keys: 2, Bank: 0, Worker: 0, TS: 15000},
+		{Kind: KindReady, Task: 3, Keys: 2, Bank: 0, Worker: 0, TS: 15200},
+		{Kind: KindRun, Task: 3, Keys: 2, Bank: 0, Worker: 1, TS: 16000},
+		{Kind: KindFinish, Task: 3, Keys: 2, Bank: 0, Worker: 1, TS: 21000},
+	}
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, smallWavefrontEvents()); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	goldenPath := filepath.Join("testdata", "wavefront_small.trace.json")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("rewrite golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exporter output drifted from %s\n--- got ---\n%s\n--- want ---\n%s",
+			goldenPath, buf.String(), want)
+	}
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	events := smallWavefrontEvents()
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, events); err != nil {
+		t.Fatalf("first export: %v", err)
+	}
+	// Reverse the input order: the exporter re-sorts, so output must match.
+	reversed := make([]Event, len(events))
+	for i, ev := range events {
+		reversed[len(events)-1-i] = ev
+	}
+	if err := WriteChromeTrace(&b, reversed); err != nil {
+		t.Fatalf("second export: %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("export depends on input event order")
+	}
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, smallWavefrontEvents()); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string   `json:"name"`
+			Cat  string   `json:"cat"`
+			Ph   string   `json:"ph"`
+			TS   float64  `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			PID  int      `json:"pid"`
+			TID  int      `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	var slices, instants, meta, poisons int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			slices++
+			if ev.Dur == nil || *ev.Dur < 0 {
+				t.Errorf("slice %q has invalid duration", ev.Name)
+			}
+			if ev.Cat == "poison" {
+				poisons++
+			}
+		case "i":
+			instants++
+		case "M":
+			meta++
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	// 4 tasks -> 4 slices (one poisoned); 4 submits + 4 readys -> 8 instants;
+	// process + admission + 2 workers -> 4 metadata records.
+	if slices != 4 || instants != 8 || meta != 4 || poisons != 1 {
+		t.Fatalf("got slices=%d instants=%d meta=%d poisons=%d, want 4/8/4/1",
+			slices, instants, meta, poisons)
+	}
+}
+
+func TestChromeTraceUnterminatedRun(t *testing.T) {
+	events := []Event{
+		{Kind: KindRun, Task: 7, Keys: 1, Bank: 0, Worker: 0, TS: 100},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Cat == "unterminated" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("run event with no finish did not produce an unterminated slice")
+	}
+}

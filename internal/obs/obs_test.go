@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingDrainOrder(t *testing.T) {
+	r := NewRecorder(1, 16)
+	for i := 0; i < 10; i++ {
+		r.Emit(0, KindSubmit, uint64(i), 1, 0, -1)
+	}
+	events := r.Drain()
+	if len(events) != 10 {
+		t.Fatalf("drained %d events, want 10", len(events))
+	}
+	for i, ev := range events {
+		if ev.Task != uint64(i) {
+			t.Fatalf("event %d has task %d, want %d (oldest first)", i, ev.Task, i)
+		}
+	}
+	if got := r.Drain(); len(got) != 0 {
+		t.Fatalf("second drain returned %d events, want 0", len(got))
+	}
+}
+
+func TestRingOverflowDropsOldest(t *testing.T) {
+	r := NewRecorder(1, 16)
+	for i := 0; i < 40; i++ {
+		r.Emit(0, KindSubmit, uint64(i), 1, 0, -1)
+	}
+	events := r.Drain()
+	if len(events) != 16 {
+		t.Fatalf("drained %d events, want ring capacity 16", len(events))
+	}
+	// The retained window is the newest 16 emissions, oldest first.
+	for i, ev := range events {
+		if want := uint64(24 + i); ev.Task != want {
+			t.Fatalf("event %d has task %d, want %d", i, ev.Task, want)
+		}
+	}
+	if got := r.Dropped(); got != 24 {
+		t.Fatalf("Dropped() = %d, want 24", got)
+	}
+	// The drop count is cumulative across drains.
+	r.Emit(0, KindSubmit, 99, 1, 0, -1)
+	r.Drain()
+	if got := r.Dropped(); got != 24 {
+		t.Fatalf("Dropped() after clean drain = %d, want still 24", got)
+	}
+}
+
+func TestRecorderLanes(t *testing.T) {
+	r := NewRecorder(4, 32)
+	if r.Lanes() != 5 {
+		t.Fatalf("Lanes() = %d, want 5 (workers + external)", r.Lanes())
+	}
+	if r.ExternalLane() != 4 {
+		t.Fatalf("ExternalLane() = %d, want 4", r.ExternalLane())
+	}
+	// Out-of-range lanes clamp to the external lane rather than panicking.
+	r.Emit(-1, KindSubmit, 1, 0, -1, -1)
+	r.Emit(99, KindReady, 2, 0, -1, -1)
+	events := r.Drain()
+	if len(events) != 2 {
+		t.Fatalf("drained %d events, want 2", len(events))
+	}
+}
+
+func TestDrainMergesSorted(t *testing.T) {
+	r := NewRecorder(3, 16)
+	// Interleave emissions across lanes; timestamps are monotonic per the
+	// shared clock, so the merged drain must be globally ordered.
+	for i := 0; i < 30; i++ {
+		r.Emit(i%3, KindRun, uint64(i), 1, 0, i%3)
+	}
+	events := r.Drain()
+	if len(events) != 30 {
+		t.Fatalf("drained %d events, want 30", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].TS < events[i-1].TS {
+			t.Fatalf("event %d (ts=%d) precedes event %d (ts=%d)", i, events[i].TS, i-1, events[i-1].TS)
+		}
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	const (
+		workers = 4
+		perLane = 1000
+	)
+	r := NewRecorder(workers, perLane)
+	var wg sync.WaitGroup
+	for lane := 0; lane < workers; lane++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			for i := 0; i < perLane; i++ {
+				r.Emit(lane, KindFinish, uint64(lane*perLane+i), 1, 0, lane)
+			}
+		}(lane)
+	}
+	wg.Wait()
+	events := r.Drain()
+	if len(events) != workers*perLane {
+		t.Fatalf("drained %d events, want %d", len(events), workers*perLane)
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("Dropped() = %d, want 0 with exact-capacity lanes", r.Dropped())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindSubmit: "submit",
+		KindReady:  "ready",
+		KindRun:    "run",
+		KindFinish: "finish",
+		KindPoison: "poison",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if Kind(200).String() != "kind(200)" {
+		t.Errorf("unknown kind renders %q", Kind(200).String())
+	}
+}

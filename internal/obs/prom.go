@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition format (version 0.0.4) encoder and validator.
+// The service's /metrics endpoint is the only producer and the CI smoke is
+// the main consumer, so this implements the subset both need — counters and
+// gauges with optional labels — rather than wrapping a client library.
+
+// PrometheusContentType is the Content-Type for the text exposition format.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one name="value" pair on a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Sample is one measurement line of a metric family.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// Metric is one metric family: a HELP/TYPE header and its samples.
+type Metric struct {
+	Name    string
+	Help    string
+	Type    string // "counter" or "gauge"
+	Samples []Sample
+}
+
+// WritePrometheus encodes the families in the text exposition format.
+// Families are emitted in the order given; samples within a family are
+// sorted by their rendered label set so the output is deterministic.
+func WritePrometheus(w io.Writer, families []Metric) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range families {
+		if len(m.Samples) == 0 {
+			continue
+		}
+		if m.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", m.Name, escapeHelp(m.Help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", m.Name, m.Type)
+		lines := make([]string, 0, len(m.Samples))
+		for _, s := range m.Samples {
+			lines = append(lines, m.Name+renderLabels(s.Labels)+" "+formatValue(s.Value))
+		}
+		sort.Strings(lines)
+		for _, line := range lines {
+			fmt.Fprintln(bw, line)
+		}
+	}
+	return bw.Flush()
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ValidatePrometheus checks that body parses as text exposition format:
+// every non-comment line is `name[{labels}] value [timestamp]` with a valid
+// metric name and float value, every TYPE comment names a known type, and
+// at least one sample is present. It returns the number of sample lines.
+func ValidatePrometheus(body string) (samples int, err error) {
+	for i, line := range strings.Split(body, "\n") {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateComment(line); err != nil {
+				return samples, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := validateSample(line); err != nil {
+			return samples, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		samples++
+	}
+	if samples == 0 {
+		return 0, fmt.Errorf("no samples in exposition")
+	}
+	return samples, nil
+}
+
+func validateComment(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed HELP comment %q", line)
+		}
+	case "TYPE":
+		if len(fields) != 4 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed TYPE comment %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+	}
+	return nil
+}
+
+func validateSample(line string) error {
+	name := line
+	rest := ""
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		close := strings.IndexByte(line[i:], '}')
+		if close < 0 {
+			return fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := validateLabels(line[i+1 : i+close]); err != nil {
+			return fmt.Errorf("%w in %q", err, line)
+		}
+		rest = strings.TrimSpace(line[i+close+1:])
+	} else if sp := strings.IndexAny(line, " \t"); sp >= 0 {
+		name = line[:sp]
+		rest = strings.TrimSpace(line[sp+1:])
+	} else {
+		return fmt.Errorf("sample line %q has no value", line)
+	}
+	if !validMetricName(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("expected value [timestamp] after name in %q", line)
+	}
+	if _, err := parsePromValue(fields[0]); err != nil {
+		return fmt.Errorf("invalid sample value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("invalid timestamp %q", fields[1])
+		}
+	}
+	return nil
+}
+
+func validateLabels(s string) error {
+	if s == "" {
+		return nil
+	}
+	rest := s
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return fmt.Errorf("label pair missing '='")
+		}
+		name := rest[:eq]
+		if !validLabelName(name) {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("label value for %q not quoted", name)
+		}
+		rest = rest[1:]
+		for {
+			qi := strings.IndexByte(rest, '"')
+			if qi < 0 {
+				return fmt.Errorf("unterminated label value for %q", name)
+			}
+			// Count the backslashes before the quote: an odd run means
+			// the quote is escaped and the value continues.
+			bs := 0
+			for j := qi - 1; j >= 0 && rest[j] == '\\'; j-- {
+				bs++
+			}
+			if bs%2 == 0 {
+				rest = rest[qi+1:]
+				break
+			}
+			rest = rest[qi+1:]
+		}
+		rest = strings.TrimPrefix(rest, ",")
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	families := []Metric{
+		{
+			Name: "nexuspp_tasks_total",
+			Help: "Tasks by outcome.",
+			Type: "counter",
+			Samples: []Sample{
+				{Labels: []Label{{Name: "outcome", Value: "executed"}}, Value: 42},
+				{Labels: []Label{{Name: "outcome", Value: "failed"}}, Value: 1},
+			},
+		},
+		{
+			Name:    "nexuspp_window_occupancy",
+			Help:    "In-flight tasks.",
+			Type:    "gauge",
+			Samples: []Sample{{Value: 7}},
+		},
+		{Name: "nexuspp_empty", Type: "counter"}, // no samples: omitted entirely
+	}
+	var b strings.Builder
+	if err := WritePrometheus(&b, families); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	got := b.String()
+	want := `# HELP nexuspp_tasks_total Tasks by outcome.
+# TYPE nexuspp_tasks_total counter
+nexuspp_tasks_total{outcome="executed"} 42
+nexuspp_tasks_total{outcome="failed"} 1
+# HELP nexuspp_window_occupancy In-flight tasks.
+# TYPE nexuspp_window_occupancy gauge
+nexuspp_window_occupancy 7
+`
+	if got != want {
+		t.Fatalf("exposition mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	if n, err := ValidatePrometheus(got); err != nil || n != 3 {
+		t.Fatalf("ValidatePrometheus(own output) = %d, %v; want 3, nil", n, err)
+	}
+}
+
+func TestWritePrometheusEscaping(t *testing.T) {
+	families := []Metric{{
+		Name: "nexuspp_sessions",
+		Help: "Line one\nline two with \\ backslash.",
+		Type: "gauge",
+		Samples: []Sample{
+			{Labels: []Label{{Name: "session", Value: `quo"te\back` + "\nnewline"}}, Value: 1},
+		},
+	}}
+	var b strings.Builder
+	if err := WritePrometheus(&b, families); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	got := b.String()
+	if !strings.Contains(got, `session="quo\"te\\back\nnewline"`) {
+		t.Fatalf("label value not escaped: %s", got)
+	}
+	if !strings.Contains(got, `Line one\nline two`) {
+		t.Fatalf("help text not escaped: %s", got)
+	}
+	if _, err := ValidatePrometheus(got); err != nil {
+		t.Fatalf("escaped output does not validate: %v", err)
+	}
+}
+
+func TestValidatePrometheusAccepts(t *testing.T) {
+	cases := []string{
+		"metric_a 1\n",
+		"metric_a{l=\"v\"} 1.5\nmetric_a{l=\"w\"} +Inf\n",
+		"# HELP m something\n# TYPE m counter\nm 0\n",
+		"m 3 1700000000000\n",
+		"m{a=\"x\",b=\"y\"} NaN\n",
+	}
+	for _, body := range cases {
+		if _, err := ValidatePrometheus(body); err != nil {
+			t.Errorf("ValidatePrometheus(%q) = %v, want nil", body, err)
+		}
+	}
+}
+
+func TestValidatePrometheusRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"comments only":     "# HELP m x\n# TYPE m counter\n",
+		"bad name":          "9metric 1\n",
+		"no value":          "metric_a\n",
+		"bad value":         "metric_a one\n",
+		"unclosed labels":   "metric_a{l=\"v\" 1\n",
+		"unquoted label":    "metric_a{l=v} 1\n",
+		"bad type":          "# TYPE m flavour\nm 1\n",
+		"bad timestamp":     "m 1 soon\n",
+		"reserved label":    "m{__name__=\"x\"} 1\n",
+		"html not a metric": "<html><body>404</body></html>\n",
+	}
+	for name, body := range cases {
+		if _, err := ValidatePrometheus(body); err == nil {
+			t.Errorf("%s: ValidatePrometheus(%q) accepted, want error", name, body)
+		}
+	}
+}

@@ -107,6 +107,28 @@ func (c *Client) Debug(ctx context.Context) (*DebugInfo, error) {
 	return &d, nil
 }
 
+// Metrics fetches the raw /metrics body — Prometheus text exposition
+// format, not JSON, so it bypasses the do() helper.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{Status: resp.StatusCode, Message: string(body)}
+	}
+	return string(body), nil
+}
+
 // Healthy reports whether the daemon answers /healthz.
 func (c *Client) Healthy(ctx context.Context) bool {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"nexuspp/internal/obs"
 	"nexuspp/internal/starss"
 )
 
@@ -87,6 +88,10 @@ func New(cfg Config) *Server {
 			Shards:         cfg.Shards,
 			Window:         cfg.Window,
 			BufferingDepth: cfg.BufferingDepth,
+			// The service always measures bank contention: /metrics exposes
+			// it, and the TryLock fast path keeps the cost a counter bump
+			// per acquisition.
+			BankCounters: true,
 		}),
 		start:       time.Now(),
 		sessions:    make(map[string]*session),
@@ -112,6 +117,7 @@ func (s *Server) routes() {
 		fmt.Fprintln(w, "ok")
 	})
 	s.mux.HandleFunc("GET /debug", s.handleDebug)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.withSession(s.handleDeleteSession))
 	s.mux.HandleFunc("GET /v1/sessions/{id}/stats", s.withSession(s.handleStats))
@@ -296,15 +302,84 @@ func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 		Goroutines: runtime.NumGoroutine(),
 		Sessions:   len(per),
 		Runtime: RuntimeDebug{
-			Submitted:  st.Submitted,
-			Executed:   st.Executed,
-			Failed:     st.Failed,
-			Skipped:    st.Skipped,
-			Hazards:    st.Hazards,
-			InFlight:   s.rt.InFlight(),
-			QueueDepth: s.rt.QueueDepth(),
-			Window:     s.rt.WindowSize(),
+			Submitted:        st.Submitted,
+			Executed:         st.Executed,
+			Failed:           st.Failed,
+			Skipped:          st.Skipped,
+			Hazards:          st.Hazards,
+			InFlight:         s.rt.InFlight(),
+			QueueDepth:       s.rt.QueueDepth(),
+			Window:           s.rt.WindowSize(),
+			BankAcquisitions: st.BankAcquisitions,
+			BankContended:    st.BankContended,
+			BankMaxQueue:     st.BankMaxQueue,
 		},
 		PerSession: per,
 	})
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition
+// format: the runtime counters /debug reports (window occupancy, queue
+// depth, bank contention) plus per-session task outcomes.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.rt.Stats()
+	s.mu.Lock()
+	per := make([]SessionStats, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		per = append(per, ss.stats())
+	}
+	s.mu.Unlock()
+
+	taskSamples := []obs.Sample{
+		{Labels: []obs.Label{{Name: "outcome", Value: "executed"}}, Value: float64(st.Executed)},
+		{Labels: []obs.Label{{Name: "outcome", Value: "failed"}}, Value: float64(st.Failed)},
+		{Labels: []obs.Label{{Name: "outcome", Value: "skipped"}}, Value: float64(st.Skipped)},
+	}
+	var sessionTasks, sessionInFlight []obs.Sample
+	for _, ss := range per {
+		sl := []obs.Label{{Name: "session", Value: ss.Session}}
+		for _, o := range []struct {
+			outcome string
+			v       uint64
+		}{{"executed", ss.Executed}, {"failed", ss.Failed}, {"skipped", ss.Skipped}} {
+			sessionTasks = append(sessionTasks, obs.Sample{
+				Labels: append([]obs.Label{{Name: "outcome", Value: o.outcome}}, sl...),
+				Value:  float64(o.v),
+			})
+		}
+		sessionInFlight = append(sessionInFlight, obs.Sample{Labels: sl, Value: float64(ss.InFlight)})
+	}
+
+	families := []obs.Metric{
+		{Name: "nexuspp_uptime_seconds", Help: "Seconds since the server started.", Type: "gauge",
+			Samples: []obs.Sample{{Value: time.Since(s.start).Seconds()}}},
+		{Name: "nexuspp_goroutines", Help: "Live goroutines in the process.", Type: "gauge",
+			Samples: []obs.Sample{{Value: float64(runtime.NumGoroutine())}}},
+		{Name: "nexuspp_sessions", Help: "Live sessions.", Type: "gauge",
+			Samples: []obs.Sample{{Value: float64(len(per))}}},
+		{Name: "nexuspp_tasks_submitted_total", Help: "Tasks admitted into the shared runtime.", Type: "counter",
+			Samples: []obs.Sample{{Value: float64(st.Submitted)}}},
+		{Name: "nexuspp_tasks_total", Help: "Completed tasks by outcome.", Type: "counter",
+			Samples: taskSamples},
+		{Name: "nexuspp_hazards_total", Help: "Tasks that waited on at least one dependence.", Type: "counter",
+			Samples: []obs.Sample{{Value: float64(st.Hazards)}}},
+		{Name: "nexuspp_bank_acquisitions_total", Help: "Dependence-bank lock acquisitions.", Type: "counter",
+			Samples: []obs.Sample{{Value: float64(st.BankAcquisitions)}}},
+		{Name: "nexuspp_bank_contended_acquisitions_total", Help: "Bank acquisitions that blocked on another holder.", Type: "counter",
+			Samples: []obs.Sample{{Value: float64(st.BankContended)}}},
+		{Name: "nexuspp_bank_max_queue_depth", Help: "Deepest kick-off list observed on any bank segment.", Type: "gauge",
+			Samples: []obs.Sample{{Value: float64(st.BankMaxQueue)}}},
+		{Name: "nexuspp_window_occupancy", Help: "In-flight (submitted, unfinished) tasks.", Type: "gauge",
+			Samples: []obs.Sample{{Value: float64(s.rt.InFlight())}}},
+		{Name: "nexuspp_window_size", Help: "Configured in-flight window capacity.", Type: "gauge",
+			Samples: []obs.Sample{{Value: float64(s.rt.WindowSize())}}},
+		{Name: "nexuspp_queue_depth", Help: "Ready tasks queued for a worker.", Type: "gauge",
+			Samples: []obs.Sample{{Value: float64(s.rt.QueueDepth())}}},
+		{Name: "nexuspp_session_tasks_total", Help: "Per-session completed tasks by outcome.", Type: "counter",
+			Samples: sessionTasks},
+		{Name: "nexuspp_session_in_flight", Help: "Per-session in-flight tasks.", Type: "gauge",
+			Samples: sessionInFlight},
+	}
+	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	_ = obs.WritePrometheus(w, families)
 }

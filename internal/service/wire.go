@@ -159,16 +159,21 @@ type SessionStats struct {
 	MaxInFlight int    `json:"max_in_flight"`
 }
 
-// RuntimeDebug is the shared runtime's slice of the /debug report.
+// RuntimeDebug is the shared runtime's slice of the /debug report. The
+// bank_* fields are the dependence-bank lock counters (the service enables
+// starss.Config.BankCounters), also exported through GET /metrics.
 type RuntimeDebug struct {
-	Submitted  uint64 `json:"submitted"`
-	Executed   uint64 `json:"executed"`
-	Failed     uint64 `json:"failed"`
-	Skipped    uint64 `json:"skipped"`
-	Hazards    uint64 `json:"hazards"`
-	InFlight   int    `json:"in_flight"`
-	QueueDepth int    `json:"queue_depth"`
-	Window     int    `json:"window"`
+	Submitted        uint64 `json:"submitted"`
+	Executed         uint64 `json:"executed"`
+	Failed           uint64 `json:"failed"`
+	Skipped          uint64 `json:"skipped"`
+	Hazards          uint64 `json:"hazards"`
+	InFlight         int    `json:"in_flight"`
+	QueueDepth       int    `json:"queue_depth"`
+	Window           int    `json:"window"`
+	BankAcquisitions uint64 `json:"bank_acquisitions"`
+	BankContended    uint64 `json:"bank_contended"`
+	BankMaxQueue     uint64 `json:"bank_max_queue"`
 }
 
 // DebugInfo is the response to GET /debug: server-wide counters plus one

@@ -46,15 +46,20 @@ type ReplayResult struct {
 	Stats Stats
 }
 
-// statsDelta subtracts the monotonic counters of before from after.
+// statsDelta subtracts the monotonic counters of before from after. Like
+// MaxInFlight, BankMaxQueue is a high-water mark and cannot be attributed
+// to one replay, so the runtime's mark is reported as-is.
 func statsDelta(before, after Stats) Stats {
 	return Stats{
-		Submitted:   after.Submitted - before.Submitted,
-		Executed:    after.Executed - before.Executed,
-		Failed:      after.Failed - before.Failed,
-		Skipped:     after.Skipped - before.Skipped,
-		Hazards:     after.Hazards - before.Hazards,
-		MaxInFlight: after.MaxInFlight,
+		Submitted:        after.Submitted - before.Submitted,
+		Executed:         after.Executed - before.Executed,
+		Failed:           after.Failed - before.Failed,
+		Skipped:          after.Skipped - before.Skipped,
+		Hazards:          after.Hazards - before.Hazards,
+		MaxInFlight:      after.MaxInFlight,
+		BankAcquisitions: after.BankAcquisitions - before.BankAcquisitions,
+		BankContended:    after.BankContended - before.BankContended,
+		BankMaxQueue:     after.BankMaxQueue,
 	}
 }
 

@@ -45,6 +45,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"nexuspp/internal/obs"
 )
 
 // Mode is a dependency direction.
@@ -159,6 +161,16 @@ type Config struct {
 	// RecordGraph keeps the discovered task graph (names and dependency
 	// edges) for Graph/ExportDOT. Memory grows with the task count.
 	RecordGraph bool
+	// EventBuffer enables the lifecycle event stream (submit/ready/run/
+	// finish/poison) and sets the per-lane ring capacity; 0 (the default)
+	// disables it, leaving a single nil check on every emission point.
+	// Drain the stream via Events.
+	EventBuffer int
+	// BankCounters enables per-bank lock instrumentation (acquisitions,
+	// contended acquisitions, max kick-off queue depth), surfaced through
+	// Stats. Off by default: the counting replaces the plain bank Lock with
+	// a TryLock-then-Lock pair on every acquisition.
+	BankCounters bool
 }
 
 // Stats reports runtime counters.
@@ -176,6 +188,15 @@ type Stats struct {
 	MaxInFlight int
 	// Hazards counts tasks that had to wait at least once (DC > 0).
 	Hazards uint64
+	// BankAcquisitions counts dependence-bank lock acquisitions; zero
+	// unless Config.BankCounters is set.
+	BankAcquisitions uint64
+	// BankContended counts the subset of BankAcquisitions that had to
+	// block because another goroutine held the bank.
+	BankContended uint64
+	// BankMaxQueue is the high-water mark of any single segment's kick-off
+	// list — the deepest dependence queue observed on any bank.
+	BankMaxQueue uint64
 }
 
 // String renders the counters in one line, for reports and logs.
@@ -246,11 +267,16 @@ func (h *Handle) complete(err error) {
 
 // bank is one lock-striped slice of the dependence table. The pad brings
 // the struct to 64 bytes so adjacent hot bank locks sit on separate cache
-// lines.
+// lines. The counters are only written when Config.BankCounters is set
+// (acquisitions/contended under TryLock knowledge, maxQueue under the bank
+// lock) but are always read atomically by Stats.
 type bank struct {
-	mu   sync.Mutex
-	segs map[Key]*segState
-	_    [48]byte
+	mu           sync.Mutex
+	segs         map[Key]*segState
+	acquisitions atomic.Uint64
+	contended    atomic.Uint64
+	maxQueue     atomic.Uint64
+	_            [24]byte
 }
 
 // Runtime schedules and executes tasks.
@@ -294,6 +320,12 @@ type Runtime struct {
 	waiterCount atomic.Int32
 
 	recorder *graphRecorder
+
+	// rec is the lifecycle event stream (nil unless Config.EventBuffer is
+	// set); bankStats gates the per-bank lock counters. Both are fixed at
+	// construction, so emission points pay one predictable branch.
+	rec       *obs.Recorder
+	bankStats bool
 }
 
 // taskFailure is the boxed root-cause record behind firstErr.
@@ -407,11 +439,40 @@ func New(cfg Config) *Runtime {
 	if cfg.RecordGraph {
 		rt.recorder = newGraphRecorder()
 	}
+	if cfg.EventBuffer > 0 {
+		rt.rec = obs.NewRecorder(cfg.Workers, cfg.EventBuffer)
+	}
+	rt.bankStats = cfg.BankCounters
 	rt.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
-		go rt.worker()
+		go rt.worker(i)
 	}
 	return rt
+}
+
+// Events returns the lifecycle event recorder, or nil when
+// Config.EventBuffer was zero. Drain it while the runtime is idle (or
+// after Close) for a complete, ordered log; draining mid-run is safe but
+// may split a task's run/finish pair across drains.
+func (rt *Runtime) Events() *obs.Recorder { return rt.rec }
+
+// firstBank is the first dependence bank in the node's sorted acquisition
+// order, or -1 for tasks with no dependencies — the bank identity recorded
+// on the node's lifecycle events.
+func (node *taskNode) firstBank() int {
+	if len(node.banks) == 0 {
+		return -1
+	}
+	return node.banks[0]
+}
+
+// emit records one lifecycle transition for node when the event stream is
+// on. lane -1 selects the submit-side lane.
+func (rt *Runtime) emit(lane int, kind obs.Kind, node *taskNode, worker int) {
+	if rt.rec == nil {
+		return
+	}
+	rt.rec.Emit(lane, kind, node.handle.index, len(node.deps), node.firstBank(), worker)
 }
 
 // bankIndex hashes a key to its bank. Like map insertion, it panics for
@@ -453,10 +514,25 @@ func sortedUnique(ints []int) []int {
 }
 
 // lockBanks acquires the given sorted bank set; the global ascending order
-// makes multi-bank acquisition deadlock-free.
+// makes multi-bank acquisition deadlock-free. With BankCounters on, each
+// acquisition first tries the uncontended fast path so blocked acquisitions
+// can be counted separately; the acquisition order is identical.
 func (rt *Runtime) lockBanks(banks []int) {
+	if rt.bankStats {
+		for _, i := range banks {
+			b := &rt.banks[i]
+			b.acquisitions.Add(1)
+			if b.mu.TryLock() {
+				continue
+			}
+			b.contended.Add(1)
+			b.mu.Lock()
+		}
+		return
+	}
 	for _, i := range banks {
-		rt.banks[i].mu.Lock()
+		b := &rt.banks[i]
+		b.mu.Lock()
 	}
 }
 
@@ -618,6 +694,7 @@ func (rt *Runtime) submitChunk(ctx context.Context, nodes []*taskNode) error {
 	}
 	rt.unlockBanks(uniq)
 	for _, node := range ready {
+		rt.emit(-1, obs.KindReady, node, -1)
 		rt.readyCh <- node
 	}
 	rt.subMu.RUnlock()
@@ -656,6 +733,7 @@ func (rt *Runtime) admit(node *taskNode) {
 	if rt.recorder != nil {
 		rt.recorder.record(node)
 	}
+	rt.emit(-1, obs.KindSubmit, node, -1)
 }
 
 // resolveNew runs Check Deps (Listing 2) for one task against its banks.
@@ -664,9 +742,22 @@ func (rt *Runtime) resolveNew(node *taskNode) {
 	dc := rt.checkDeps(node)
 	rt.unlockBanks(node.banks)
 	if dc == 0 {
+		rt.emit(-1, obs.KindReady, node, -1)
 		rt.readyCh <- node
 	} else {
 		rt.hazards.Add(1)
+	}
+}
+
+// noteQueueDepth raises the bank's kick-off high-water mark. The caller
+// holds the bank lock, so the load/store pair has a single writer; the
+// atomic lets Stats read it without the lock.
+func (rt *Runtime) noteQueueDepth(b *bank, depth int) {
+	if !rt.bankStats {
+		return
+	}
+	if d := uint64(depth); d > b.maxQueue.Load() {
+		b.maxQueue.Store(d)
 	}
 }
 
@@ -702,11 +793,13 @@ func (rt *Runtime) checkDeps(node *taskNode) int {
 			} else {
 				seg.ko = append(seg.ko, segWaiter{node: node})
 				dc++
+				rt.noteQueueDepth(b, len(seg.ko))
 			}
 			continue
 		}
 		seg.ko = append(seg.ko, segWaiter{node: node, wantsWrite: true})
 		dc++
+		rt.noteQueueDepth(b, len(seg.ko))
 		if !seg.isOut {
 			seg.ww = true
 		}
@@ -737,8 +830,9 @@ func (node *taskNode) rootCause() error {
 // dependence count reaches zero. A failed (or skipped) finisher poisons the
 // segments it releases, so every waiter popped behind it — now or by a
 // later finisher — is skipped as a transitive dependent while the kick-off
-// lists drain normally.
-func (rt *Runtime) resolveFinished(node *taskNode) {
+// lists drain normally. worker is the finishing worker's index, for the
+// event stream.
+func (rt *Runtime) resolveFinished(node *taskNode, worker int) {
 	root := node.rootCause()
 	var released []*taskNode
 	release := func(n *taskNode) {
@@ -801,6 +895,7 @@ func (rt *Runtime) resolveFinished(node *taskNode) {
 	}
 	rt.unlockBanks(node.banks)
 	for _, n := range released {
+		rt.emit(worker, obs.KindReady, n, worker)
 		rt.readyCh <- n
 	}
 	switch {
@@ -943,9 +1038,10 @@ func (rt *Runtime) QueueDepth() int { return len(rt.readyCh) }
 func (rt *Runtime) WindowSize() int { return rt.cfg.Window }
 
 // Stats returns a snapshot of the runtime counters. After Close it returns
-// the final counters.
+// the final counters. The Bank* fields stay zero unless Config.BankCounters
+// was set.
 func (rt *Runtime) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Submitted:   rt.submitted.Load(),
 		Executed:    rt.executed.Load(),
 		Failed:      rt.failed.Load(),
@@ -953,6 +1049,15 @@ func (rt *Runtime) Stats() Stats {
 		MaxInFlight: int(rt.maxInFlight.Load()),
 		Hazards:     rt.hazards.Load(),
 	}
+	for i := range rt.banks {
+		b := &rt.banks[i]
+		s.BankAcquisitions += b.acquisitions.Load()
+		s.BankContended += b.contended.Load()
+		if q := b.maxQueue.Load(); q > s.BankMaxQueue {
+			s.BankMaxQueue = q
+		}
+	}
+	return s
 }
 
 // Close waits for all submitted tasks, stops the workers and returns the
@@ -1005,15 +1110,15 @@ func normalizeDeps(deps []Dep) ([]Dep, error) {
 
 // worker is one worker core plus its Task Controller: a small pipeline that
 // prefetches the inputs of up to BufferingDepth-1 upcoming tasks while the
-// current one executes.
-func (rt *Runtime) worker() {
+// current one executes. id is the worker's index — its event-stream lane.
+func (rt *Runtime) worker(id int) {
 	defer rt.workerWG.Done()
 	depth := rt.cfg.BufferingDepth
 	if depth <= 1 {
 		// No buffering: fetch, run and write back serially.
 		for node := range rt.readyCh {
 			prefetchNode(node)
-			rt.runBody(node)
+			rt.runBody(node, id)
 		}
 		return
 	}
@@ -1032,7 +1137,7 @@ func (rt *Runtime) worker() {
 		}
 	}()
 	for node := range local {
-		rt.runBody(node)
+		rt.runBody(node, id)
 	}
 	ctlWG.Wait()
 }
@@ -1087,7 +1192,17 @@ func runNode(node *taskNode) {
 	}()
 }
 
-func (rt *Runtime) runBody(node *taskNode) {
+// runBody executes one node on worker id and resolves its completion,
+// bracketing the body with run and finish (or poison, for skipped tasks)
+// events on the worker's own lane — the per-worker ordering the Chrome
+// exporter's timeline nesting relies on.
+func (rt *Runtime) runBody(node *taskNode, id int) {
+	rt.emit(id, obs.KindRun, node, id)
 	runNode(node)
-	rt.resolveFinished(node)
+	if node.wasSkipped {
+		rt.emit(id, obs.KindPoison, node, id)
+	} else {
+		rt.emit(id, obs.KindFinish, node, id)
+	}
+	rt.resolveFinished(node, id)
 }

@@ -1,9 +1,12 @@
 package nexuspp
 
 import (
+	"io"
+
 	"nexuspp/internal/backend"
 	"nexuspp/internal/core"
 	"nexuspp/internal/depgraph"
+	"nexuspp/internal/obs"
 	"nexuspp/internal/service"
 	"nexuspp/internal/starss"
 	"nexuspp/internal/trace"
@@ -226,6 +229,38 @@ type Scope = starss.Scope
 // ScopedKey is the namespaced form of a dependency key as seen by the
 // shared dependency table; useful for diagnostics.
 type ScopedKey = starss.ScopedKey
+
+// --- Observability --------------------------------------------------------
+
+// EventRecorder collects the runtime's lifecycle event stream
+// (submit/ready/run/finish/poison) into per-worker ring buffers; enable it
+// with RuntimeConfig.EventBuffer and drain it via Runtime.Events. Drained
+// logs export to Chrome trace-viewer JSON with WriteChromeTrace, and
+// `nexusbench trace` wraps the whole flow.
+type EventRecorder = obs.Recorder
+
+// Event is one recorded lifecycle transition: kind, task ID, key count,
+// bank, worker, and a monotonic timestamp.
+type Event = obs.Event
+
+// EventKind is a lifecycle transition type.
+type EventKind = obs.Kind
+
+// The recorded lifecycle transitions, in task order: admission, dependence
+// count reaching zero, body start, body completion, and skip-by-poisoning.
+const (
+	EventSubmit = obs.KindSubmit
+	EventReady  = obs.KindReady
+	EventRun    = obs.KindRun
+	EventFinish = obs.KindFinish
+	EventPoison = obs.KindPoison
+)
+
+// WriteChromeTrace converts a drained event log to Chrome trace-viewer
+// JSON, loadable in chrome://tracing and ui.perfetto.dev.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	return obs.WriteChromeTrace(w, events)
+}
 
 // --- Task service ---------------------------------------------------------
 
