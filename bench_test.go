@@ -11,9 +11,11 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"nexuspp"
 	"nexuspp/internal/core"
+	"nexuspp/internal/faults"
 	"nexuspp/internal/sim"
 	"nexuspp/internal/softrts"
 	"nexuspp/internal/starss"
@@ -361,6 +363,50 @@ func BenchmarkObsOverhead(b *testing.B) {
 					Deps: []starss.Dep{starss.InOut(i % 64)},
 					Do:   func(context.Context) error { return nil },
 				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := rt.Wait(ctx); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+		})
+	}
+}
+
+// BenchmarkFaultOverhead is the fault-injection overhead guard, the
+// BenchmarkObsOverhead discipline applied to internal/faults: the same
+// Submit→completion loop with injection off (nil injector — one nil check
+// per task, must stay within noise), with an armed injector whose rule
+// never fires (the hash is paid, the fault is not), and with live injection
+// plus retries recovering every injected failure. BENCH_10.json records the
+// off-configuration baseline.
+func BenchmarkFaultOverhead(b *testing.B) {
+	configs := []struct {
+		name string
+		in   *faults.Plan
+		task starss.Task
+	}{
+		{"off", nil, starss.Task{}},
+		{"armed_cold", &faults.Plan{Seed: 1, Rules: []faults.Rule{{Site: faults.SiteTaskError, Prob: 0}}}, starss.Task{}},
+		// Injected errors at 0.5% with a deep retry budget: every failure
+		// recovers, so the loop measures injection + re-arm cost, not a
+		// different workload.
+		{"active", &faults.Plan{Seed: 1, Rules: []faults.Rule{{Site: faults.SiteTaskError, Prob: 0.005}}},
+			starss.Task{MaxRetries: 8, RetryBackoff: time.Microsecond, RetryMaxBackoff: 2 * time.Microsecond}},
+	}
+	for _, tc := range configs {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			rt := starss.New(starss.Config{Workers: 4, Window: 256, Faults: faults.New(tc.in)})
+			defer rt.Close()
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t := tc.task
+				t.Deps = []starss.Dep{starss.InOut(i % 64)}
+				t.Do = func(context.Context) error { return nil }
+				if _, err := rt.Submit(ctx, t); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,0 +1,124 @@
+package main
+
+// `nexusbench chaos` is the resilience gate: it executes the seeded
+// fault-injection scenarios of internal/chaos — task panics against the
+// dependency-graph oracle, hangs bounded by per-task deadlines, retry
+// recovery, duplicated and dropped wire exchanges against the idempotency
+// window, session expiry mid-graph, and overload shedding — and verifies
+// every run's invariants. Each scenario runs twice per seed and the
+// deterministic fingerprints must match, so a schedule that ever diverges
+// under the same seed fails the gate.
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"nexuspp/internal/chaos"
+)
+
+func chaosCmd(args []string) int {
+	fs := flag.NewFlagSet("nexusbench chaos", flag.ExitOnError)
+	var (
+		seed      = fs.Uint64("seed", 7, "fault-schedule seed")
+		scenarios = fs.String("scenarios", "all", "comma-separated scenario names, or 'all'")
+		repeat    = fs.Int("repeat", 2, "runs per scenario; fingerprints must match across runs")
+		jsonOut   = fs.String("json", "", "also write the reports as JSON to this path ('-' for stdout)")
+	)
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "nexusbench chaos: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+	names := chaos.Names()
+	if *scenarios != "all" {
+		names = strings.Split(*scenarios, ",")
+	}
+	if *repeat < 1 {
+		*repeat = 1
+	}
+
+	ctx := context.Background()
+	var reports []*chaos.Report
+	exit := 0
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		var first *chaos.Report
+		ok := true
+		for r := 0; r < *repeat; r++ {
+			rep, err := chaos.Run(ctx, name, *seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "nexusbench chaos: %v\n", err)
+				exit = 1
+				ok = false
+				break
+			}
+			if first == nil {
+				first = rep
+			} else if rep.Fingerprint != first.Fingerprint {
+				fmt.Fprintf(os.Stderr,
+					"nexusbench chaos: %s(seed=%d): nondeterministic fingerprint: run 1 %s, run %d %s\n",
+					name, *seed, first.Fingerprint, r+1, rep.Fingerprint)
+				exit = 1
+				ok = false
+				break
+			}
+		}
+		if !ok || first == nil {
+			continue
+		}
+		reports = append(reports, first)
+		fmt.Printf("PASS %-20s seed=%-4d tasks=%-4d executed=%-4d failed=%-3d skipped=%-3d retried=%-3d %s fp=%s\n",
+			first.Scenario, first.Seed, first.Tasks, first.Executed, first.Failed, first.Skipped,
+			first.Retried, chaosExtras(first), first.Fingerprint)
+	}
+	if *jsonOut != "" && len(reports) > 0 {
+		if err := writeChaosJSON(*jsonOut, reports); err != nil {
+			fmt.Fprintf(os.Stderr, "nexusbench chaos: %v\n", err)
+			exit = 1
+		}
+	}
+	if exit == 0 {
+		fmt.Printf("chaos: %d scenario(s) passed, %d run(s) each, seed=%d\n", len(reports), *repeat, *seed)
+	}
+	return exit
+}
+
+func chaosExtras(rep *chaos.Report) string {
+	var parts []string
+	if rep.ClientRetries > 0 {
+		parts = append(parts, fmt.Sprintf("client-retries=%d", rep.ClientRetries))
+	}
+	if rep.Deduped > 0 {
+		parts = append(parts, fmt.Sprintf("deduped=%d", rep.Deduped))
+	}
+	if rep.Shed > 0 {
+		parts = append(parts, fmt.Sprintf("shed=%d", rep.Shed))
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, " ")
+}
+
+func writeChaosJSON(path string, reports []*chaos.Report) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Schema  string          `json:"schema"`
+		Reports []*chaos.Report `json:"reports"`
+	}{Schema: "nexusbench/chaos/v1", Reports: reports})
+}

@@ -10,6 +10,7 @@
 //	nexusbench exp    [flags] [experiment...]
 //	nexusbench serve  [-addr=<url>] [-clients=N] [-tasks=N] [flags]
 //	nexusbench bench  [-out=<path>] [-seed=N] [-repeat=N]
+//	nexusbench chaos  [-seed=N] [-scenarios=all] [-repeat=N] [-json=<path>]
 //	nexusbench trace  [-workload=<name>] [-o=trace.json] [flags]
 //
 // `run` executes one workload on one backend — or on every registered
@@ -36,6 +37,11 @@
 //
 // `bench` records the fixed performance sweep committed as BENCH_<pr>.json:
 // maestro vs the sharded runtime on zero-cost replays.
+//
+// `chaos` runs the seeded fault-injection scenarios of internal/chaos —
+// task panics, hangs under deadlines, retry recovery, duplicated and
+// dropped wire exchanges, session expiry mid-graph, overload shedding —
+// verifying invariants after every run and determinism across repeats.
 //
 // `trace` replays one workload on the instrumented sharded runtime and
 // writes its lifecycle event log as Chrome trace-viewer JSON for
@@ -79,6 +85,8 @@ func main() {
 			os.Exit(serveCmd(args[1:]))
 		case "bench":
 			os.Exit(benchCmd(args[1:]))
+		case "chaos":
+			os.Exit(chaosCmd(args[1:]))
 		case "trace":
 			os.Exit(traceCmd(args[1:]))
 		case "help", "-h", "-help", "--help":
@@ -97,6 +105,7 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, "       nexusbench exp [flags] [experiment...]")
 	fmt.Fprintln(w, "       nexusbench serve [-addr=<url>] [-clients=N] [-tasks=N] [flags]")
 	fmt.Fprintln(w, "       nexusbench bench [-out=<path>] [-seed=N] [-repeat=N]")
+	fmt.Fprintln(w, "       nexusbench chaos [-seed=N] [-scenarios=all] [-repeat=N] [-json=<path>]")
 	fmt.Fprintln(w, "       nexusbench trace [-backend=runtime] [-workload=<name>] [-o=trace.json] [flags]")
 	fmt.Fprintln(w, "run 'nexusbench list' for backends and workloads,")
 	fmt.Fprintln(w, "    'nexusbench exp unknown' for the experiment names.")

@@ -7,6 +7,13 @@
 //
 //	nexusd [-addr host:port] [-workers N] [-shards N] [-window N]
 //	       [-session-window N] [-session-ttl D] [-max-sessions N]
+//	       [-shed-ratio R] [-faults spec] [-fault-seed N]
+//
+// -shed-ratio sets the global window occupancy fraction past which submits
+// are shed with 503 + Retry-After (default 0.9; negative disables).
+// -faults arms deterministic, seeded server-side fault injection for chaos
+// drills (e.g. -faults server_delay:0.01:5ms,server_drop:every=100); off by
+// default and zero-cost when disabled.
 //
 // API (JSON everywhere; see internal/service for the wire types):
 //
@@ -43,6 +50,7 @@ import (
 	"syscall"
 	"time"
 
+	"nexuspp/internal/faults"
 	"nexuspp/internal/service"
 )
 
@@ -59,10 +67,22 @@ func run() int {
 		sessionWindow = flag.Int("session-window", 256, "per-session in-flight window (backpressure threshold)")
 		sessionTTL    = flag.Duration("session-ttl", 2*time.Minute, "idle time before a session is drained")
 		maxSessions   = flag.Int("max-sessions", 256, "maximum live sessions")
+		shedRatio     = flag.Float64("shed-ratio", 0, "window occupancy fraction past which submits shed with 503 (0 = default 0.9, negative disables)")
+		faultSpec     = flag.String("faults", "", "server-side fault injection spec, e.g. server_delay:0.01:5ms (empty = disabled)")
+		faultSeed     = flag.Uint64("fault-seed", 1, "seed for the -faults schedule")
 	)
 	flag.Parse()
 	log.SetPrefix("nexusd: ")
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+
+	injector, err := faults.ParseSpec(*faultSeed, *faultSpec)
+	if err != nil {
+		log.Printf("%v", err)
+		return 2
+	}
+	if injector != nil {
+		log.Printf("fault injection armed: %v", injector)
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
@@ -78,6 +98,8 @@ func run() int {
 		SessionWindow: *sessionWindow,
 		SessionTTL:    *sessionTTL,
 		MaxSessions:   *maxSessions,
+		ShedRatio:     *shedRatio,
+		Faults:        injector,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

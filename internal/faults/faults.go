@@ -1,0 +1,343 @@
+// Package faults is the deterministic, seeded fault-injection framework
+// behind `nexusbench chaos`. The paper's hardware task manager assumes a
+// reliable fabric — the Dependence Table never loses an entry, kick-off
+// lists always drain, task IDs are never duplicated — but the software
+// service reproducing it runs on a fabric where task bodies panic, clients
+// retry, and requests vanish mid-flight. This package makes those failures
+// injectable at every layer (task bodies, the runtime's dispatch path, and
+// the HTTP wire) so the recovery paths can be exercised deterministically.
+//
+// Design rules, in priority order:
+//
+//   - Off means free. A nil *Injector disables everything; every injection
+//     point in the runtime and the service pays exactly one nil check, the
+//     same discipline internal/obs uses for the event stream.
+//   - Deterministic per seed. Decisions are pure functions of (seed, site,
+//     key) — a hash, not a stateful PRNG — so a fault schedule is
+//     reproducible regardless of goroutine interleaving as long as the
+//     keys are (task indices are; per-site sequence numbers are under a
+//     sequential caller).
+//   - Observable. Every fired injection is counted per site, so a chaos
+//     scenario can assert that the faults it planned actually happened.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Site is one fault-injection point.
+type Site uint8
+
+const (
+	// SiteTaskError makes a task body return an injected error instead of
+	// running — the software analogue of a worker core signalling failure.
+	SiteTaskError Site = iota
+	// SiteTaskPanic makes a task body panic; the runtime recovers it into
+	// ErrTaskPanicked and poisons dependents like any failure.
+	SiteTaskPanic
+	// SiteTaskHang makes a task body block until its context is cancelled —
+	// the stuck-worker case that per-task deadlines exist to bound.
+	SiteTaskHang
+	// SiteKickoffDelay delays a ready task's dispatch to a worker — a slow
+	// dependence bank / kick-off list.
+	SiteKickoffDelay
+	// SiteReqDrop drops a client request before it is sent; the server
+	// never sees it.
+	SiteReqDrop
+	// SiteReqDup sends a client request twice; the duplicate's response is
+	// discarded. Exercises server-side idempotent submission.
+	SiteReqDup
+	// SiteReqDelay delays a client request before it is sent.
+	SiteReqDelay
+	// SiteRespDrop drops a response after the server has fully processed
+	// the request — the case where a retried POST would double-execute
+	// without idempotency keys.
+	SiteRespDrop
+	// SiteServerDelay delays a request inside the server before handling.
+	SiteServerDelay
+	// SiteServerDrop aborts a request inside the server before handling
+	// (the connection is reset; the handler never runs).
+	SiteServerDrop
+	numSites
+)
+
+var siteNames = [numSites]string{
+	"task_error", "task_panic", "task_hang", "kickoff_delay",
+	"req_drop", "req_dup", "req_delay", "resp_drop",
+	"server_delay", "server_drop",
+}
+
+// String returns the site's spec-file spelling (e.g. "task_error").
+func (s Site) String() string {
+	if int(s) < len(siteNames) {
+		return siteNames[s]
+	}
+	return fmt.Sprintf("site(%d)", uint8(s))
+}
+
+// ErrInjected is the root of every fault this package injects; test
+// assertions and retry policies match it with errors.Is.
+var ErrInjected = errors.New("faults: injected fault")
+
+// Rule arms one site. Exactly one of Prob and Every selects the firing
+// discipline: Prob fires when the (seed, site, key) hash lands below the
+// probability — deterministic per key, independent across keys — and Every
+// fires on every Every-th decision at the site (key % Every == 0), the
+// right tool for sequence-keyed wire faults ("drop every 4th response").
+type Rule struct {
+	Site Site
+	// Prob is the per-decision firing probability in [0, 1].
+	Prob float64
+	// Every fires the rule when key%Every == 0; it takes precedence over
+	// Prob when nonzero.
+	Every uint64
+	// Delay is the injected latency for the delay-flavoured sites
+	// (kickoff_delay, req_delay, server_delay); ignored elsewhere.
+	Delay time.Duration
+}
+
+// Plan is a seed plus the armed rules — one reproducible fault schedule.
+type Plan struct {
+	Seed  uint64
+	Rules []Rule
+}
+
+// compiled is one site's armed state inside an Injector.
+type compiled struct {
+	armed bool
+	prob  float64
+	every uint64
+	delay time.Duration
+}
+
+// Injector decides, deterministically per seed, whether a fault fires at a
+// given site for a given key. The zero of the type is never used: a nil
+// *Injector is the disabled state and every method is nil-safe.
+type Injector struct {
+	seed  uint64
+	rules [numSites]compiled
+	fired [numSites]atomic.Uint64
+	seq   [numSites]atomic.Uint64
+}
+
+// New compiles a plan into an injector. A nil plan or an empty rule set
+// returns nil — the disabled injector.
+func New(plan *Plan) *Injector {
+	if plan == nil || len(plan.Rules) == 0 {
+		return nil
+	}
+	in := &Injector{seed: plan.Seed}
+	for _, r := range plan.Rules {
+		if int(r.Site) >= int(numSites) {
+			continue
+		}
+		in.rules[r.Site] = compiled{armed: true, prob: r.Prob, every: r.Every, delay: r.Delay}
+	}
+	return in
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a cheap,
+// high-quality 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// decide is the pure decision function: true when the site's rule fires for
+// key under the injector's seed.
+func (in *Injector) decide(site Site, key uint64) bool {
+	r := &in.rules[site]
+	if !r.armed {
+		return false
+	}
+	if r.every > 0 {
+		return key%r.every == 0
+	}
+	if r.prob <= 0 {
+		return false
+	}
+	if r.prob >= 1 {
+		return true
+	}
+	h := splitmix64(in.seed ^ (uint64(site)+1)*0x9e3779b97f4a7c15 ^ splitmix64(key))
+	return float64(h>>11)/(1<<53) < r.prob
+}
+
+// TaskKey derives the decision key for one execution attempt of one task,
+// mixing the attempt in so a retried task re-rolls its fate independently.
+func TaskKey(index uint64, attempt int) uint64 {
+	return splitmix64(index*2654435761 + uint64(attempt))
+}
+
+// Should reports whether the site's rule fires for key, counting the hit.
+// Nil-safe: a nil injector never fires.
+func (in *Injector) Should(site Site, key uint64) bool {
+	if in == nil {
+		return false
+	}
+	if !in.decide(site, key) {
+		return false
+	}
+	in.fired[site].Add(1)
+	return true
+}
+
+// Peek is Should without the side effects: the pure decision, not counted.
+// Chaos oracles use it to predict the schedule an identical injector
+// produced. Nil-safe.
+func (in *Injector) Peek(site Site, key uint64) bool {
+	if in == nil {
+		return false
+	}
+	return in.decide(site, key)
+}
+
+// ShouldSeq is Should keyed by the site's own call sequence number — the
+// discipline for wire sites, where there is no task index. Deterministic
+// when the site's callers are sequential. Nil-safe.
+func (in *Injector) ShouldSeq(site Site) bool {
+	if in == nil {
+		return false
+	}
+	return in.Should(site, in.seq[site].Add(1)-1)
+}
+
+// Delay returns the site's injected latency when its rule fires for key,
+// and zero otherwise. Nil-safe.
+func (in *Injector) Delay(site Site, key uint64) time.Duration {
+	if in == nil {
+		return 0
+	}
+	if !in.decide(site, key) {
+		return 0
+	}
+	in.fired[site].Add(1)
+	return in.rules[site].delay
+}
+
+// DelaySeq is Delay keyed by the site's call sequence number. Nil-safe.
+func (in *Injector) DelaySeq(site Site) time.Duration {
+	if in == nil {
+		return 0
+	}
+	return in.Delay(site, in.seq[site].Add(1)-1)
+}
+
+// Fired returns the number of times the site's rule has fired. Nil-safe.
+func (in *Injector) Fired(site Site) uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.fired[site].Load()
+}
+
+// Counts returns every site that has fired with its count, sorted by site
+// name — the chaos report's injected-fault summary. Nil-safe.
+func (in *Injector) Counts() map[string]uint64 {
+	if in == nil {
+		return nil
+	}
+	m := make(map[string]uint64)
+	for s := Site(0); s < numSites; s++ {
+		if n := in.fired[s].Load(); n > 0 {
+			m[s.String()] = n
+		}
+	}
+	return m
+}
+
+// String renders the armed rules in spec syntax.
+func (in *Injector) String() string {
+	if in == nil {
+		return "faults: disabled"
+	}
+	var parts []string
+	for s := Site(0); s < numSites; s++ {
+		r := &in.rules[s]
+		if !r.armed {
+			continue
+		}
+		p := s.String()
+		if r.every > 0 {
+			p += fmt.Sprintf(":every=%d", r.every)
+		} else {
+			p += fmt.Sprintf(":%g", r.prob)
+		}
+		if r.delay > 0 {
+			p += ":" + r.delay.String()
+		}
+		parts = append(parts, p)
+	}
+	sort.Strings(parts)
+	return "faults: seed=" + strconv.FormatUint(in.seed, 10) + " " + strings.Join(parts, ",")
+}
+
+// ParseSpec compiles a textual fault plan, the nexusd / nexusbench flag
+// syntax: a comma-separated list of rules, each
+//
+//	<site>:<prob>[:<delay>]      probability-keyed, e.g. task_panic:0.05
+//	<site>:every=<n>[:<delay>]   sequence-keyed,   e.g. resp_drop:every=4:2ms
+//
+// Site names are the Site.String spellings. An empty spec returns a nil
+// (disabled) injector.
+func ParseSpec(seed uint64, spec string) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var plan Plan
+	plan.Seed = seed
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("faults: bad rule %q (want site:prob[:delay] or site:every=N[:delay])", part)
+		}
+		site, err := siteByName(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		r := Rule{Site: site}
+		if ev, ok := strings.CutPrefix(fields[1], "every="); ok {
+			n, err := strconv.ParseUint(ev, 10, 64)
+			if err != nil || n == 0 {
+				return nil, fmt.Errorf("faults: bad every count %q in rule %q", ev, part)
+			}
+			r.Every = n
+		} else {
+			p, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("faults: bad probability %q in rule %q (want [0,1])", fields[1], part)
+			}
+			r.Prob = p
+		}
+		if len(fields) == 3 {
+			d, err := time.ParseDuration(fields[2])
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("faults: bad delay %q in rule %q", fields[2], part)
+			}
+			r.Delay = d
+		}
+		plan.Rules = append(plan.Rules, r)
+	}
+	return New(&plan), nil
+}
+
+// siteByName resolves a spec-file site name.
+func siteByName(name string) (Site, error) {
+	for s := Site(0); s < numSites; s++ {
+		if siteNames[s] == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("faults: unknown site %q (valid: %s)", name, strings.Join(siteNames[:], ", "))
+}

@@ -1,0 +1,135 @@
+package faults
+
+// HTTP wire injection: a client-side http.RoundTripper that drops,
+// duplicates and delays requests or drops fully-served responses, and a
+// server-side middleware that delays or aborts requests before handling.
+// Together they reproduce the partial-failure modes a distributed StarSs
+// deployment (the Hybrid MPI/StarSs case study, arXiv 1204.4086) layers on
+// top of the node-local runtime: a lost submit, a retried submit that
+// arrives twice, and the nastiest one — a submit the server fully executed
+// whose response never reached the client.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// DropError is the transport error surfaced for an injected request or
+// response drop; it wraps ErrInjected and is retryable by the service
+// client's idempotent submit path.
+type DropError struct {
+	// Phase is "request" (never sent) or "response" (served, then lost).
+	Phase string
+}
+
+func (e *DropError) Error() string {
+	return fmt.Sprintf("faults: injected %s drop", e.Phase)
+}
+
+// Unwrap makes errors.Is(err, ErrInjected) hold.
+func (e *DropError) Unwrap() error { return ErrInjected }
+
+// Transport wraps a base http.RoundTripper with wire fault injection. A nil
+// Injector passes everything through untouched.
+type Transport struct {
+	// Base is the underlying transport; nil selects http.DefaultTransport.
+	Base http.RoundTripper
+	// In decides the faults; nil disables injection.
+	In *Injector
+}
+
+// RoundTrip applies, in order: req_delay, req_drop, req_dup (the duplicate
+// is sent first and its response discarded — the server sees two requests),
+// the real round trip, then resp_drop (the response body is consumed and
+// discarded so the server observes a completed exchange).
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	in := t.In
+	if in == nil {
+		return base.RoundTrip(req)
+	}
+	if d := in.DelaySeq(SiteReqDelay); d > 0 {
+		if err := sleepCtx(req, d); err != nil {
+			return nil, err
+		}
+	}
+	if in.ShouldSeq(SiteReqDrop) {
+		return nil, &DropError{Phase: "request"}
+	}
+	if in.ShouldSeq(SiteReqDup) {
+		if dup := cloneRequest(req); dup != nil {
+			if resp, err := base.RoundTrip(dup); err == nil {
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
+			}
+		}
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if in.ShouldSeq(SiteRespDrop) {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		return nil, &DropError{Phase: "response"}
+	}
+	return resp, nil
+}
+
+// cloneRequest builds a re-sendable copy of req, or nil when the body
+// cannot be replayed (no GetBody). Requests built by the service client use
+// bytes.Reader bodies, for which net/http provides GetBody automatically.
+func cloneRequest(req *http.Request) *http.Request {
+	dup := req.Clone(req.Context())
+	if req.Body == nil {
+		return dup
+	}
+	if req.GetBody == nil {
+		return nil
+	}
+	body, err := req.GetBody()
+	if err != nil {
+		return nil
+	}
+	dup.Body = body
+	return dup
+}
+
+// sleepCtx blocks for d, honouring the request's context.
+func sleepCtx(req *http.Request, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-req.Context().Done():
+		return req.Context().Err()
+	}
+}
+
+// Middleware wraps an http.Handler with server-side fault injection:
+// server_delay stalls the request before handling and server_drop aborts
+// the connection without running the handler (the client sees a transport
+// error; the server provably never executed the request). A nil Injector
+// returns next unchanged — no wrapper, no per-request cost.
+func Middleware(next http.Handler, in *Injector) http.Handler {
+	if in == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if d := in.DelaySeq(SiteServerDelay); d > 0 {
+			if err := sleepCtx(r, d); err != nil {
+				return
+			}
+		}
+		if in.ShouldSeq(SiteServerDrop) {
+			panic(http.ErrAbortHandler)
+		}
+		next.ServeHTTP(w, r)
+	})
+}

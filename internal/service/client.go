@@ -3,10 +3,13 @@ package service
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	mrand "math/rand/v2"
 	"net/http"
 	"strconv"
 	"time"
@@ -153,6 +156,18 @@ func (c *Client) Open(ctx context.Context) (*Session, error) {
 	return &Session{c: c, ID: info.Session, Window: info.Window}, nil
 }
 
+// OpenWithDeadline creates a session whose total lifetime is bounded
+// server-side: past the deadline every request against it fails with 410
+// and its unfinished tasks drain. Zero means no deadline (plain Open).
+func (c *Client) OpenWithDeadline(ctx context.Context, deadline time.Duration) (*Session, error) {
+	var info SessionInfo
+	req := CreateSessionRequest{DeadlineMS: deadline.Milliseconds()}
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &info); err != nil {
+		return nil, err
+	}
+	return &Session{c: c, ID: info.Session, Window: info.Window}, nil
+}
+
 // Session returns a handle on an existing server session by ID — e.g. one
 // created by another process, or for probing error responses.
 func (c *Client) Session(id string) *Session { return &Session{c: c, ID: id} }
@@ -164,6 +179,18 @@ type Session struct {
 	ID string
 	// Window is the session's admission window, as reported at creation.
 	Window int
+	// RetryBudget bounds how many retryable failures (429 backpressure,
+	// 503 overload, transport errors under an idempotency key) one
+	// SubmitWait call absorbs before giving up. 0 selects 16.
+	RetryBudget int
+	// RetryBase and RetryMaxBackoff parameterise SubmitWait's capped
+	// exponential backoff with full jitter. Zero selects 25ms and the
+	// server's Retry-After hint (minimum 1s) respectively.
+	RetryBase       time.Duration
+	RetryMaxBackoff time.Duration
+	// PollTimeout bounds each server-side await poll issued by Await. 0
+	// selects 10s; the caller's context deadline always clamps it.
+	PollTimeout time.Duration
 }
 
 func (s *Session) path(suffix string) string { return "/v1/sessions/" + s.ID + suffix }
@@ -178,29 +205,103 @@ func (s *Session) Submit(ctx context.Context, tasks []TaskSpec) ([]uint64, error
 	return resp.IDs, nil
 }
 
-// SubmitWait sends one batch, sleeping out backpressure until the batch is
-// admitted or ctx is cancelled. It returns the assigned IDs and the number
-// of 429 rounds it absorbed.
+// SubmitIdem sends one batch under an idempotency key: a repeat of the same
+// key on the same session returns the originally assigned IDs without
+// re-executing anything, which makes retrying after a transport error safe
+// even when the server may have executed the lost request.
+func (s *Session) SubmitIdem(ctx context.Context, key string, tasks []TaskSpec) ([]uint64, bool, error) {
+	var resp SubmitResponse
+	req := SubmitRequest{Tasks: tasks, IdempotencyKey: key}
+	if err := s.c.do(ctx, http.MethodPost, s.path("/submit"), req, &resp); err != nil {
+		return nil, false, err
+	}
+	return resp.IDs, resp.Deduped, nil
+}
+
+// newIdempotencyKey returns a fresh random submit key.
+func newIdempotencyKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("service: idempotency key entropy: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// retryableSubmit classifies an error from one submit round: backpressure
+// (429) and overload shed (503) always merit a retry; transport errors —
+// where the request may or may not have executed server-side — are
+// retryable only because SubmitWait submits under an idempotency key.
+func retryableSubmit(err error) bool {
+	var bp *BackpressureError
+	if errors.As(err, &bp) {
+		return true
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Status == http.StatusServiceUnavailable
+	}
+	// Anything else non-context is a transport-level failure.
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// SubmitWait sends one batch under a fresh idempotency key, retrying
+// backpressure (429), overload shed (503) and transport errors with capped
+// exponential backoff and full jitter until the batch is admitted, the
+// per-call retry budget is exhausted, or ctx is cancelled. It returns the
+// assigned IDs and the number of retry rounds it absorbed.
 func (s *Session) SubmitWait(ctx context.Context, tasks []TaskSpec) (ids []uint64, retries int, err error) {
+	budget := s.RetryBudget
+	if budget <= 0 {
+		budget = 16
+	}
+	base := s.RetryBase
+	if base <= 0 {
+		base = 25 * time.Millisecond
+	}
+	key := newIdempotencyKey()
 	for {
-		ids, err = s.Submit(ctx, tasks)
-		var bp *BackpressureError
-		if !errors.As(err, &bp) {
+		ids, _, err = s.SubmitIdem(ctx, key, tasks)
+		if err == nil || !retryableSubmit(err) || retries >= budget {
 			return ids, retries, err
 		}
-		retries++
-		// Sample a fraction of Retry-After: completions stream back
-		// continuously, so the window usually has room well before the
-		// full hint elapses.
-		delay := bp.RetryAfter / 10
-		if delay < 10*time.Millisecond {
-			delay = 10 * time.Millisecond
+		// Cap the backoff at the server's Retry-After hint when one came
+		// back, or at the configured ceiling otherwise.
+		max := s.RetryMaxBackoff
+		var bp *BackpressureError
+		if errors.As(err, &bp) && bp.RetryAfter > 0 {
+			max = bp.RetryAfter
 		}
-		select {
-		case <-time.After(delay):
-		case <-ctx.Done():
+		if max <= 0 {
+			max = time.Second
+		}
+		retries++
+		if !sleepJitter(ctx, base, max, retries-1) {
 			return nil, retries, ctx.Err()
 		}
+	}
+}
+
+// sleepJitter blocks for a full-jitter backoff delay — uniform in
+// [0, min(max, base<<attempt)] — returning false when ctx dies first.
+func sleepJitter(ctx context.Context, base, max time.Duration, attempt int) bool {
+	if attempt > 30 {
+		attempt = 30
+	}
+	d := base
+	if d <<= attempt; d <= 0 || d > max {
+		d = max
+	}
+	d = mrand.N(d + 1)
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
 	}
 }
 
@@ -217,11 +318,30 @@ func (s *Session) AwaitOnce(ctx context.Context, ids []uint64, timeout time.Dura
 
 // Await blocks until the given tasks (all submitted tasks when ids is
 // empty) complete or ctx is cancelled, re-issuing bounded server-side
-// waits as needed, and returns their final statuses.
+// waits as needed, and returns their final statuses. Each poll is bounded
+// by PollTimeout (default 10s) clamped to the caller's context deadline, so
+// a deadline-bearing ctx never parks a poll past its own expiry.
 func (s *Session) Await(ctx context.Context, ids []uint64) ([]TaskStatus, error) {
+	poll := s.PollTimeout
+	if poll <= 0 {
+		poll = 10 * time.Second
+	}
 	for {
+		timeout := poll
+		if dl, ok := ctx.Deadline(); ok {
+			if remain := time.Until(dl); remain < timeout {
+				timeout = remain
+			}
+			if timeout <= 0 {
+				return nil, context.DeadlineExceeded
+			}
+		}
+		tms := timeout.Milliseconds()
+		if tms < 1 {
+			tms = 1 // 0 would select the server default, not "almost none"
+		}
 		var resp AwaitResponse
-		req := AwaitRequest{IDs: ids, TimeoutMS: 10_000}
+		req := AwaitRequest{IDs: ids, TimeoutMS: tms}
 		if err := s.c.do(ctx, http.MethodPost, s.path("/await"), req, &resp); err != nil {
 			return nil, err
 		}

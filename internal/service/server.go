@@ -6,11 +6,14 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"nexuspp/internal/faults"
 	"nexuspp/internal/obs"
 	"nexuspp/internal/starss"
 )
@@ -40,6 +43,15 @@ type Config struct {
 	// MaxSessions bounds the number of live sessions; creation beyond it
 	// gets 503. 0 selects 256.
 	MaxSessions int
+	// ShedRatio is the global window occupancy fraction beyond which the
+	// server sheds new submits with 503 + Retry-After instead of letting
+	// them run the window to saturation. 0 selects 0.9; negative disables
+	// shedding (submits then only see per-session 429 backpressure).
+	ShedRatio float64
+	// Faults, when non-nil, injects server-side wire faults (delays,
+	// dropped connections) around every request; nil — the default — adds
+	// no wrapper and no per-request cost.
+	Faults *faults.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -58,6 +70,9 @@ func (c Config) withDefaults() Config {
 			c.Window = 1 << 18
 		}
 	}
+	if c.ShedRatio == 0 {
+		c.ShedRatio = 0.9
+	}
 	return c
 }
 
@@ -72,6 +87,12 @@ type Server struct {
 
 	mu       sync.Mutex
 	sessions map[string]*session
+
+	// shed counts submits rejected by the overload-shed check, exported
+	// through /metrics.
+	shed atomic.Uint64
+	// shedAt is the precomputed occupancy threshold; <0 disables shedding.
+	shedAt int
 
 	janitorStop chan struct{}
 	janitorWG   sync.WaitGroup
@@ -97,6 +118,14 @@ func New(cfg Config) *Server {
 		sessions:    make(map[string]*session),
 		janitorStop: make(chan struct{}),
 	}
+	if cfg.ShedRatio < 0 {
+		s.shedAt = -1
+	} else {
+		s.shedAt = int(cfg.ShedRatio * float64(cfg.Window))
+		if s.shedAt < 1 {
+			s.shedAt = 1
+		}
+	}
 	s.routes()
 	s.janitorWG.Add(1)
 	go s.janitor()
@@ -107,8 +136,10 @@ func New(cfg Config) *Server {
 // embedding).
 func (s *Server) Runtime() *starss.Runtime { return s.rt }
 
-// Handler returns the HTTP handler serving the service API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler serving the service API, wrapped with
+// server-side fault injection when Config.Faults is set (a nil injector
+// returns the mux unwrapped).
+func (s *Server) Handler() http.Handler { return faults.Middleware(s.mux, s.cfg.Faults) }
 
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
@@ -140,20 +171,29 @@ func (s *Server) janitor() {
 		case <-s.janitorStop:
 			return
 		case <-ticker.C:
-			s.mu.Lock()
-			var expired []*session
-			for id, ss := range s.sessions {
-				if ss.idleFor() > s.cfg.SessionTTL {
-					expired = append(expired, ss)
-					delete(s.sessions, id)
-				}
-			}
-			s.mu.Unlock()
-			for _, ss := range expired {
-				ss.close(ErrSessionExpired)
-			}
+			s.ReapSessions()
 		}
 	}
+}
+
+// ReapSessions drains every session idle past the TTL or already dead (its
+// context cancelled, e.g. by a session deadline) and returns the number
+// reaped. The janitor calls it on every tick; tests and the chaos suite
+// call it directly to force the expiry race without waiting out a tick.
+func (s *Server) ReapSessions() int {
+	s.mu.Lock()
+	var expired []*session
+	for id, ss := range s.sessions {
+		if ss.idleFor() > s.cfg.SessionTTL || ss.ctx.Err() != nil {
+			expired = append(expired, ss)
+			delete(s.sessions, id)
+		}
+	}
+	s.mu.Unlock()
+	for _, ss := range expired {
+		ss.close(ErrSessionExpired)
+	}
+	return len(expired)
 }
 
 // Close drains every session and shuts the shared runtime down. Task
@@ -232,6 +272,16 @@ func newSessionID() string {
 // --- Handlers ------------------------------------------------------------
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	// The body is optional: an empty body means default options.
+	var req CreateSessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err != io.EOF {
+		writeError(w, badRequest("create session: invalid JSON: "+err.Error()))
+		return
+	}
+	if req.DeadlineMS < 0 {
+		writeError(w, badRequest("create session: negative deadline_ms"))
+		return
+	}
 	s.mu.Lock()
 	if len(s.sessions) >= s.cfg.MaxSessions {
 		s.mu.Unlock()
@@ -243,10 +293,11 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := newSessionID()
-	ss := newSession(context.Background(), id, s.rt.Scope(id), s.cfg.SessionWindow)
+	deadline := time.Duration(req.DeadlineMS) * time.Millisecond
+	ss := newSession(context.Background(), id, s.rt.Scope(id), s.cfg.SessionWindow, deadline)
 	s.sessions[id] = ss
 	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, SessionInfo{Session: id, Window: ss.window})
+	writeJSON(w, http.StatusCreated, SessionInfo{Session: id, Window: ss.window, DeadlineMS: req.DeadlineMS})
 }
 
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request, ss *session) {
@@ -262,12 +313,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, ss *session
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, ss *session) {
+	// Overload shed: reject before decoding once the shared window runs
+	// close to saturation, so the server degrades with an explicit 503 +
+	// Retry-After instead of queueing submits into a saturated window.
+	if s.shedAt >= 0 && s.rt.InFlight() >= s.shedAt {
+		s.shed.Add(1)
+		writeError(w, &httpError{
+			code:       http.StatusServiceUnavailable,
+			msg:        fmt.Sprintf("server overloaded: %d of %d window slots in flight", s.rt.InFlight(), s.rt.WindowSize()),
+			retryAfter: ShedRetryAfterS,
+		})
+		return
+	}
 	var req SubmitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, badRequest("submit: invalid JSON: "+err.Error()))
 		return
 	}
-	resp, herr := ss.submit(req.Tasks)
+	resp, herr := ss.submit(req.Tasks, req.IdempotencyKey)
 	if herr != nil {
 		writeError(w, herr)
 		return
@@ -306,6 +369,7 @@ func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 			Executed:         st.Executed,
 			Failed:           st.Failed,
 			Skipped:          st.Skipped,
+			Retried:          st.Retried,
 			Hazards:          st.Hazards,
 			InFlight:         s.rt.InFlight(),
 			QueueDepth:       s.rt.QueueDepth(),
@@ -363,6 +427,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Samples: taskSamples},
 		{Name: "nexuspp_hazards_total", Help: "Tasks that waited on at least one dependence.", Type: "counter",
 			Samples: []obs.Sample{{Value: float64(st.Hazards)}}},
+		{Name: "nexuspp_tasks_retried_total", Help: "Task attempts re-armed under a retry policy.", Type: "counter",
+			Samples: []obs.Sample{{Value: float64(st.Retried)}}},
+		{Name: "nexuspp_submits_shed_total", Help: "Submits rejected by the overload shed (503 + Retry-After).", Type: "counter",
+			Samples: []obs.Sample{{Value: float64(s.shed.Load())}}},
 		{Name: "nexuspp_bank_acquisitions_total", Help: "Dependence-bank lock acquisitions.", Type: "counter",
 			Samples: []obs.Sample{{Value: float64(st.BankAcquisitions)}}},
 		{Name: "nexuspp_bank_contended_acquisitions_total", Help: "Bank acquisitions that blocked on another holder.", Type: "counter",

@@ -21,6 +21,10 @@ var (
 	// ErrSessionExpired is the cancellation cause of a session reaped by
 	// the idle janitor — the graceful-drain path for vanished clients.
 	ErrSessionExpired = errors.New("service: session expired (client idle)")
+	// ErrSessionDeadline is the cancellation cause of a session that ran
+	// past its client-requested deadline: unstarted tasks fail, poisoning
+	// propagates, the drain is identical to expiry.
+	ErrSessionDeadline = errors.New("service: session deadline exceeded")
 )
 
 // session is one client's isolated slice of the shared runtime: a
@@ -47,10 +51,40 @@ type session struct {
 	mu      sync.Mutex
 	handles map[uint64]*starss.Handle
 	nextID  uint64
+	// idem is the session's dedup window: idempotency key -> the submit it
+	// named. Entries for admitted batches are memoized (a retried POST gets
+	// the original IDs); failed submits are removed so a retry re-attempts.
+	idem     map[string]*idemEntry
+	idemKeys []string // insertion order, for capped eviction
 }
 
-func newSession(parent context.Context, id string, scope *starss.Scope, window int) *session {
+// idemEntry is one idempotency key's state. done closes when the first
+// carrier of the key has a result; concurrent duplicates wait on it instead
+// of double-admitting.
+type idemEntry struct {
+	done chan struct{}
+	resp *SubmitResponse
+	herr *httpError
+}
+
+// idemWindowCap bounds the per-session dedup window; the oldest settled
+// entries are evicted first.
+const idemWindowCap = 1024
+
+func newSession(parent context.Context, id string, scope *starss.Scope, window int, deadline time.Duration) *session {
+	var cancelT context.CancelFunc
+	if deadline > 0 {
+		parent, cancelT = context.WithDeadlineCause(parent, time.Now().Add(deadline), ErrSessionDeadline)
+	}
 	ctx, cancel := context.WithCancelCause(parent)
+	if cancelT != nil {
+		// Release the deadline timer as soon as the session context dies for
+		// any reason — close, expiry, or the deadline itself.
+		go func() {
+			<-ctx.Done()
+			cancelT()
+		}()
+	}
 	ss := &session{
 		id:      id,
 		scope:   scope,
@@ -58,6 +92,7 @@ func newSession(parent context.Context, id string, scope *starss.Scope, window i
 		cancel:  cancel,
 		window:  window,
 		handles: make(map[uint64]*starss.Handle),
+		idem:    make(map[string]*idemEntry),
 	}
 	ss.avail.Store(int64(window))
 	ss.touch()
@@ -96,10 +131,76 @@ func (ss *session) release(n int64) {
 	}
 }
 
-// submit admits a batch, returning the assigned session-local IDs or an
-// httpError (429 with Retry-After on a full window; the submit path never
-// blocks the caller on admission).
-func (ss *session) submit(specs []TaskSpec) (*SubmitResponse, *httpError) {
+// submit admits a batch, deduplicating on the idempotency key when one is
+// set: a repeated key whose batch was admitted returns the original IDs
+// without re-executing, and a concurrent duplicate waits for the first
+// carrier instead of double-admitting. Failed submits are never memoized —
+// a retry after a 429 must get a fresh admission attempt.
+func (ss *session) submit(specs []TaskSpec, key string) (*SubmitResponse, *httpError) {
+	if key == "" {
+		return ss.submitOnce(specs)
+	}
+	ss.mu.Lock()
+	if e, ok := ss.idem[key]; ok {
+		ss.mu.Unlock()
+		<-e.done
+		if e.herr != nil {
+			return nil, e.herr
+		}
+		dup := *e.resp
+		dup.Deduped = true
+		return &dup, nil
+	}
+	e := &idemEntry{done: make(chan struct{})}
+	ss.idem[key] = e
+	ss.idemKeys = append(ss.idemKeys, key)
+	ss.evictIdemLocked()
+	ss.mu.Unlock()
+	resp, herr := ss.submitOnce(specs)
+	e.resp, e.herr = resp, herr
+	close(e.done)
+	if herr != nil {
+		ss.mu.Lock()
+		if cur, ok := ss.idem[key]; ok && cur == e {
+			delete(ss.idem, key)
+		}
+		ss.mu.Unlock()
+	}
+	return resp, herr
+}
+
+// evictIdemLocked bounds the dedup window: the oldest settled entries are
+// evicted first; an in-flight head entry stops eviction rather than forcing
+// a scan. The key log is compacted when deletions (unmemoized failures)
+// leave it much longer than the map. Caller holds ss.mu.
+func (ss *session) evictIdemLocked() {
+	for len(ss.idem) > idemWindowCap && len(ss.idemKeys) > 0 {
+		k := ss.idemKeys[0]
+		if e, ok := ss.idem[k]; ok {
+			select {
+			case <-e.done:
+				delete(ss.idem, k)
+			default:
+				return
+			}
+		}
+		ss.idemKeys = ss.idemKeys[1:]
+	}
+	if len(ss.idemKeys) > 2*idemWindowCap && len(ss.idemKeys) > 2*len(ss.idem) {
+		kept := ss.idemKeys[:0]
+		for _, k := range ss.idemKeys {
+			if _, ok := ss.idem[k]; ok {
+				kept = append(kept, k)
+			}
+		}
+		ss.idemKeys = kept
+	}
+}
+
+// submitOnce is the non-deduplicating admission path: it returns the
+// assigned session-local IDs or an httpError (429 with Retry-After on a
+// full window; the submit path never blocks the caller on admission).
+func (ss *session) submitOnce(specs []TaskSpec) (*SubmitResponse, *httpError) {
 	ss.touch()
 	n := len(specs)
 	if n == 0 {
@@ -146,6 +247,8 @@ func submitError(err error) *httpError {
 	switch {
 	case errors.Is(err, starss.ErrStopped):
 		return &httpError{code: 503, msg: "runtime is shutting down"}
+	case errors.Is(err, ErrSessionDeadline), errors.Is(err, context.DeadlineExceeded):
+		return &httpError{code: 410, msg: "session deadline exceeded"}
 	case errors.Is(err, context.Canceled), errors.Is(err, ErrSessionClosed), errors.Is(err, ErrSessionExpired):
 		return &httpError{code: 410, msg: "session closed"}
 	default:

@@ -35,6 +35,14 @@ type TaskSpec struct {
 	// ExecUS synthesizes the task body: sleep this many microseconds
 	// (honouring cancellation). Zero or negative means an empty body.
 	ExecUS int64 `json:"exec_us,omitempty"`
+	// TimeoutMS bounds each execution attempt of the task body; an attempt
+	// exceeding it fails with the runtime's task-timeout error. 0 means no
+	// per-task deadline (the session deadline, if any, still applies).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MaxRetries re-arms a failed body up to this many times (with the
+	// runtime's capped exponential backoff) before the failure sticks and
+	// poisons dependents. 0 means fail fast.
+	MaxRetries int `json:"max_retries,omitempty"`
 }
 
 // Param is one entry of a task's input/output list.
@@ -76,7 +84,15 @@ func (ts TaskSpec) task() (starss.Task, error) {
 			return starss.Task{}, fmt.Errorf("task %q param %d: unknown mode %q (valid: in, out, inout)", ts.Name, i, p.Mode)
 		}
 	}
-	t := starss.Task{Name: ts.Name, Deps: deps}
+	if ts.MaxRetries < 0 || ts.MaxRetries > 16 {
+		return starss.Task{}, fmt.Errorf("task %q: max_retries %d out of range [0,16]", ts.Name, ts.MaxRetries)
+	}
+	t := starss.Task{
+		Name:       ts.Name,
+		Deps:       deps,
+		MaxRetries: ts.MaxRetries,
+		Timeout:    time.Duration(ts.TimeoutMS) * time.Millisecond,
+	}
 	if d := time.Duration(ts.ExecUS) * time.Microsecond; d > 0 {
 		t.Do = func(ctx context.Context) error { return sleepFor(ctx, d) }
 	} else {
@@ -101,12 +117,20 @@ func sleepFor(ctx context.Context, d time.Duration) error {
 // SubmitRequest is the body of POST /v1/sessions/{id}/submit.
 type SubmitRequest struct {
 	Tasks []TaskSpec `json:"tasks"`
+	// IdempotencyKey, when set, makes the submit exactly-once per session:
+	// a repeat of a key whose batch was admitted returns the original IDs
+	// (Deduped=true) without re-executing anything. Failed submits are not
+	// memoized, so a retry after a 429 gets a fresh admission attempt.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // SubmitResponse returns the session-local IDs assigned to the admitted
 // tasks, in submission order.
 type SubmitResponse struct {
 	IDs []uint64 `json:"ids"`
+	// Deduped reports that the idempotency key matched an earlier admitted
+	// batch and IDs are its original assignment.
+	Deduped bool `json:"deduped,omitempty"`
 }
 
 // AwaitRequest is the body of POST /v1/sessions/{id}/await. Empty IDs
@@ -139,12 +163,22 @@ type AwaitResponse struct {
 	Tasks []TaskStatus `json:"tasks"`
 }
 
+// CreateSessionRequest is the optional body of POST /v1/sessions.
+type CreateSessionRequest struct {
+	// DeadlineMS bounds the session's total lifetime; past it every
+	// unstarted task fails and the session drains exactly as on expiry.
+	// 0 means no deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
 // SessionInfo is the response to POST /v1/sessions.
 type SessionInfo struct {
 	Session string `json:"session"`
 	// Window is the session's admission window: the maximum number of
 	// in-flight (submitted, unfinished) tasks before submits get 429.
 	Window int `json:"window"`
+	// DeadlineMS echoes the session deadline, when one was requested.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // SessionStats is the response to GET /v1/sessions/{id}/stats.
@@ -159,6 +193,10 @@ type SessionStats struct {
 	MaxInFlight int    `json:"max_in_flight"`
 }
 
+// ShedRetryAfterS is the Retry-After hint (seconds) carried by a 503
+// overload-shed response.
+const ShedRetryAfterS = 1
+
 // RuntimeDebug is the shared runtime's slice of the /debug report. The
 // bank_* fields are the dependence-bank lock counters (the service enables
 // starss.Config.BankCounters), also exported through GET /metrics.
@@ -167,6 +205,7 @@ type RuntimeDebug struct {
 	Executed         uint64 `json:"executed"`
 	Failed           uint64 `json:"failed"`
 	Skipped          uint64 `json:"skipped"`
+	Retried          uint64 `json:"retried"`
 	Hazards          uint64 `json:"hazards"`
 	InFlight         int    `json:"in_flight"`
 	QueueDepth       int    `json:"queue_depth"`

@@ -1,0 +1,190 @@
+package starss
+
+// This file is the body-execution engine shared by the sharded Runtime and
+// the maestro baseline: one attempt loop per released task, applying — in
+// order — injected faults (internal/faults), the per-task deadline, and the
+// per-task retry policy. The paper's hardware never re-runs a task: a
+// worker core either completes it or the whole chip has failed. In the
+// software service a body failing is an ordinary event, so Task gains the
+// recovery policy the hardware never needed: MaxRetries re-arms the task on
+// the worker — before resolveFinished runs, so a recovered attempt never
+// poisons dependents — with capped exponential backoff and full jitter
+// between attempts.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"nexuspp/internal/faults"
+)
+
+// ErrTaskTimeout marks a task body that exceeded its Task.Timeout; the
+// wrapping error names the task and the deadline. Dependents are poisoned
+// exactly as for any other failure.
+var ErrTaskTimeout = errors.New("starss: task deadline exceeded")
+
+// executor runs task bodies with fault injection, per-task deadlines and
+// the retry policy. Both runtimes embed one; the callbacks let the sharded
+// runtime emit lifecycle events and count retries without the executor
+// knowing about either.
+type executor struct {
+	// faults injects task-level faults; nil (the default) disables
+	// injection at the cost of one branch per task.
+	faults *faults.Injector
+	// onRetry observes each re-arm: the task failed attempt `attempt` and
+	// will run again. May be nil.
+	onRetry func(node *taskNode, worker, attempt int)
+	// onFault observes each injected task fault. May be nil.
+	onFault func(node *taskNode, worker int)
+}
+
+// runNode executes one released node's lifecycle up to (not including) the
+// handle-finished path, recording the outcome on the node: skipped when a
+// transitive dependency poisoned it, failed when its context was cancelled
+// before it started, and otherwise the final attempt's result — panics
+// (from the body or WriteBack) recovered into ErrTaskPanicked, deadline
+// overruns surfaced as ErrTaskTimeout, and failures re-armed up to
+// Task.MaxRetries times before they stick and poison dependents.
+func (e *executor) runNode(node *taskNode, worker int) {
+	if p := node.poison.Load(); p != nil {
+		node.wasSkipped = true
+		node.err = fmt.Errorf("%w: task %q skipped: %w", ErrDependencyFailed, node.handle.name, p.err)
+		return
+	}
+	if node.prefetchErr != nil {
+		node.err = node.prefetchErr
+		return
+	}
+	if err := node.ctx.Err(); err != nil {
+		node.err = fmt.Errorf("starss: task %q cancelled before start: %w", node.handle.name, err)
+		return
+	}
+	attempts := 1 + node.task.MaxRetries
+	for attempt := 0; ; attempt++ {
+		node.err = e.runAttempt(node, attempt, worker)
+		if node.err == nil || attempt+1 >= attempts || !retryable(node) {
+			return
+		}
+		if e.onRetry != nil {
+			e.onRetry(node, worker, attempt)
+		}
+		if !sleepBackoff(node.ctx, &node.task, attempt) {
+			// The submission context died during the backoff; the recorded
+			// error of the last attempt stands and poisons dependents.
+			return
+		}
+	}
+}
+
+// runAttempt executes one attempt of the task body: injected faults first,
+// then the body under the per-task deadline, then WriteBack. Panics from
+// the body or WriteBack are recovered into ErrTaskPanicked.
+func (e *executor) runAttempt(node *taskNode, attempt, worker int) (err error) {
+	ctx := node.ctx
+	deadline := node.task.Timeout
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadlineCause(ctx, time.Now().Add(deadline),
+			fmt.Errorf("%w: task %q after %v", ErrTaskTimeout, node.handle.name, deadline))
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: task %q: %v", ErrTaskPanicked, node.handle.name, r)
+		}
+	}()
+	if f := e.faults; f != nil {
+		k := faults.TaskKey(node.handle.index, attempt)
+		switch {
+		case f.Should(faults.SiteTaskError, k):
+			e.noteFault(node, worker)
+			return fmt.Errorf("%w: task %q body error", faults.ErrInjected, node.handle.name)
+		case f.Should(faults.SiteTaskPanic, k):
+			e.noteFault(node, worker)
+			panic(fmt.Sprintf("%v: injected panic in task %q", faults.ErrInjected, node.handle.name))
+		case f.Should(faults.SiteTaskHang, k):
+			// A hang can only end when the context does — the stuck-worker
+			// case Task.Timeout exists to bound.
+			e.noteFault(node, worker)
+			<-ctx.Done()
+			return timeoutCause(ctx, deadline, context.Cause(ctx))
+		}
+	}
+	if err := node.do(ctx); err != nil {
+		return timeoutCause(ctx, deadline, err)
+	}
+	if node.task.WriteBack != nil {
+		node.task.WriteBack()
+	}
+	return nil
+}
+
+func (e *executor) noteFault(node *taskNode, worker int) {
+	if e.onFault != nil {
+		e.onFault(node, worker)
+	}
+}
+
+// timeoutCause rewrites a bare context.DeadlineExceeded coming out of a
+// body into the attempt's ErrTaskTimeout cause, so handle errors name the
+// task and the budget instead of the anonymous stdlib sentinel. Deadlines
+// inherited from the submission context are left untouched.
+func timeoutCause(ctx context.Context, deadline time.Duration, err error) error {
+	if deadline <= 0 || err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if cause := context.Cause(ctx); errors.Is(cause, ErrTaskTimeout) {
+		return cause
+	}
+	return err
+}
+
+// retryable reports whether the node's recorded failure may be re-armed: a
+// dead submission context (cancellation, session drain, shutdown) is final,
+// everything else — body errors, panics, per-attempt deadline overruns,
+// injected faults — earns another attempt.
+func retryable(node *taskNode) bool {
+	return node.ctx.Err() == nil
+}
+
+// sleepBackoff blocks between attempts: capped exponential backoff with
+// full jitter (AWS-style — the delay is uniform in [0, min(cap, base<<n)],
+// which decorrelates retry herds better than jittering around the full
+// backoff). Returns false when the submission context died during the
+// sleep. Defaults: base 1ms, cap 250ms.
+func sleepBackoff(ctx context.Context, t *Task, attempt int) bool {
+	base := t.RetryBackoff
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	max := t.RetryMaxBackoff
+	if max <= 0 {
+		max = 250 * time.Millisecond
+	}
+	d := base
+	// Cap the shift so the doubling cannot overflow time.Duration.
+	if attempt > 30 {
+		attempt = 30
+	}
+	if d <<= attempt; d <= 0 || d > max {
+		d = max
+	}
+	// Full jitter: uniform in [0, d]. Timing is intentionally not seeded —
+	// fault *schedules* are deterministic per seed; backoff spacing is pure
+	// timing and never affects which tasks fail.
+	d = rand.N(d + 1)
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -47,6 +47,8 @@ type MaestroRuntime struct {
 	// ErrStopped instead of deadlocking against a gone resolver.
 	drain     chan struct{}
 	stopped   chan struct{}
+	exec      executor
+	retried   atomic.Uint64
 	nextIndex atomic.Uint64
 	firstErr  atomic.Pointer[taskFailure]
 	final     Stats // snapshot taken by Close, readable afterwards
@@ -78,6 +80,12 @@ func NewMaestro(cfg Config) *MaestroRuntime {
 		readyCh:  make(chan *taskNode, cfg.Window),
 		drain:    make(chan struct{}),
 		stopped:  make(chan struct{}),
+	}
+	m.exec = executor{
+		faults: cfg.Faults,
+		onRetry: func(*taskNode, int, int) {
+			m.retried.Add(1)
+		},
 	}
 	m.maestroW.Add(1)
 	go m.maestro()
@@ -178,7 +186,9 @@ func (m *MaestroRuntime) Stats() Stats {
 	case <-m.stopped:
 		return m.final
 	case m.statsCh <- reply:
-		return <-reply
+		s := <-reply
+		s.Retried = m.retried.Load()
+		return s
 	}
 }
 
@@ -297,6 +307,7 @@ func (m *MaestroRuntime) maestro() {
 			for _, b := range barriers {
 				close(b)
 			}
+			stats.Retried = m.retried.Load()
 			m.final = stats
 			return
 		case reply := <-m.statsCh:
@@ -388,6 +399,6 @@ func (m *MaestroRuntime) worker() {
 }
 
 func (m *MaestroRuntime) runBody(node *taskNode) {
-	runNode(node)
+	m.exec.runNode(node, -1)
 	m.doneCh <- node
 }

@@ -55,6 +55,7 @@ func statsDelta(before, after Stats) Stats {
 		Executed:         after.Executed - before.Executed,
 		Failed:           after.Failed - before.Failed,
 		Skipped:          after.Skipped - before.Skipped,
+		Retried:          after.Retried - before.Retried,
 		Hazards:          after.Hazards - before.Hazards,
 		MaxInFlight:      after.MaxInFlight,
 		BankAcquisitions: after.BankAcquisitions - before.BankAcquisitions,

@@ -45,7 +45,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"nexuspp/internal/faults"
 	"nexuspp/internal/obs"
 )
 
@@ -118,6 +120,23 @@ type Task struct {
 	// (the Put Outputs phase). The task's outputs are only visible to
 	// dependents after it. It does not run when the body fails.
 	WriteBack func()
+	// MaxRetries re-arms a failed attempt (body error, panic, or Timeout
+	// overrun) up to this many extra times before the failure sticks and
+	// poisons dependents. The re-arm happens on the worker before the
+	// handle-finished path runs, so a recovered task never taints its
+	// dependents. A dead submission context is final and never retried.
+	MaxRetries int
+	// RetryBackoff is the base delay between attempts; backoff grows
+	// exponentially per attempt with full jitter, capped by
+	// RetryMaxBackoff. 0 selects 1ms.
+	RetryBackoff time.Duration
+	// RetryMaxBackoff caps the per-attempt backoff. 0 selects 250ms.
+	RetryMaxBackoff time.Duration
+	// Timeout bounds each execution attempt of the body: the attempt's
+	// context expires after this budget and the failure surfaces as an
+	// error wrapping ErrTaskTimeout (retryable — each attempt gets a fresh
+	// budget). 0 means no per-task deadline.
+	Timeout time.Duration
 	// onDone, when set, is invoked exactly once with the task's final error
 	// after its handle completes (executed, failed, or skipped). It is
 	// unexported: only this package wires it (Scope uses it for per-session
@@ -171,6 +190,12 @@ type Config struct {
 	// Stats. Off by default: the counting replaces the plain bank Lock with
 	// a TryLock-then-Lock pair on every acquisition.
 	BankCounters bool
+	// Faults injects deterministic, seeded faults into task execution and
+	// dispatch (see internal/faults): task_error/task_panic/task_hang on
+	// bodies, kickoff_delay on the ready→run path. Nil (the default)
+	// disables injection; the hot path then pays one nil check, the same
+	// discipline as the event stream.
+	Faults *faults.Injector
 }
 
 // Stats reports runtime counters.
@@ -184,6 +209,9 @@ type Stats struct {
 	// Skipped counts tasks that never ran because a transitive dependency
 	// failed; their handles report ErrDependencyFailed.
 	Skipped uint64
+	// Retried counts re-armed execution attempts: a task with MaxRetries
+	// whose attempt failed and ran again. A task retried twice counts 2.
+	Retried uint64
 	// MaxInFlight is the high-water mark of submitted-but-unfinished tasks.
 	MaxInFlight int
 	// Hazards counts tasks that had to wait at least once (DC > 0).
@@ -202,8 +230,8 @@ type Stats struct {
 // String renders the counters in one line, for reports and logs.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"submitted=%d executed=%d failed=%d skipped=%d hazards=%d max-in-flight=%d",
-		s.Submitted, s.Executed, s.Failed, s.Skipped, s.Hazards, s.MaxInFlight)
+		"submitted=%d executed=%d failed=%d skipped=%d retried=%d hazards=%d max-in-flight=%d",
+		s.Submitted, s.Executed, s.Failed, s.Skipped, s.Retried, s.Hazards, s.MaxInFlight)
 }
 
 // Handle tracks one submitted task — the software analogue of the task ID
@@ -306,6 +334,7 @@ type Runtime struct {
 	executed    atomic.Uint64
 	failed      atomic.Uint64
 	skipped     atomic.Uint64
+	retried     atomic.Uint64
 	hazards     atomic.Uint64
 	inFlight    atomic.Int64
 	maxInFlight atomic.Int64
@@ -326,6 +355,11 @@ type Runtime struct {
 	// construction, so emission points pay one predictable branch.
 	rec       *obs.Recorder
 	bankStats bool
+
+	// exec runs task bodies: fault injection, per-task deadlines, retry
+	// policy. Fixed at construction; with Config.Faults nil the execution
+	// path pays one nil check.
+	exec executor
 }
 
 // taskFailure is the boxed root-cause record behind firstErr.
@@ -443,6 +477,16 @@ func New(cfg Config) *Runtime {
 		rt.rec = obs.NewRecorder(cfg.Workers, cfg.EventBuffer)
 	}
 	rt.bankStats = cfg.BankCounters
+	rt.exec = executor{
+		faults: cfg.Faults,
+		onRetry: func(node *taskNode, worker, _ int) {
+			rt.retried.Add(1)
+			rt.emit(worker, obs.KindRetry, node, worker)
+		},
+		onFault: func(node *taskNode, worker int) {
+			rt.emit(worker, obs.KindFault, node, worker)
+		},
+	}
 	rt.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go rt.worker(i)
@@ -1046,6 +1090,7 @@ func (rt *Runtime) Stats() Stats {
 		Executed:    rt.executed.Load(),
 		Failed:      rt.failed.Load(),
 		Skipped:     rt.skipped.Load(),
+		Retried:     rt.retried.Load(),
 		MaxInFlight: int(rt.maxInFlight.Load()),
 		Hazards:     rt.hazards.Load(),
 	}
@@ -1160,45 +1205,20 @@ func prefetchNode(node *taskNode) {
 	node.task.Prefetch()
 }
 
-// runNode executes one released node's lifecycle up to (not including) the
-// handle-finished path, recording the outcome on the node: skipped when a
-// transitive dependency poisoned it, failed when its context was cancelled
-// before it started, and otherwise the body's own result with panics —
-// from the body or from WriteBack — recovered into ErrTaskPanicked.
-func runNode(node *taskNode) {
-	if p := node.poison.Load(); p != nil {
-		node.wasSkipped = true
-		node.err = fmt.Errorf("%w: task %q skipped: %w", ErrDependencyFailed, node.handle.name, p.err)
-		return
-	}
-	if node.prefetchErr != nil {
-		node.err = node.prefetchErr
-		return
-	}
-	if err := node.ctx.Err(); err != nil {
-		node.err = fmt.Errorf("starss: task %q cancelled before start: %w", node.handle.name, err)
-		return
-	}
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				node.err = fmt.Errorf("%w: task %q: %v", ErrTaskPanicked, node.handle.name, r)
-			}
-		}()
-		node.err = node.do(node.ctx)
-		if node.err == nil && node.task.WriteBack != nil {
-			node.task.WriteBack()
-		}
-	}()
-}
-
 // runBody executes one node on worker id and resolves its completion,
 // bracketing the body with run and finish (or poison, for skipped tasks)
 // events on the worker's own lane — the per-worker ordering the Chrome
-// exporter's timeline nesting relies on.
+// exporter's timeline nesting relies on. Execution itself (fault injection,
+// deadlines, retries) lives in executor.runNode (exec.go).
 func (rt *Runtime) runBody(node *taskNode, id int) {
+	if rt.exec.faults != nil {
+		// A slow bank: the task is ready but its kick-off is delayed.
+		if d := rt.exec.faults.Delay(faults.SiteKickoffDelay, node.handle.index); d > 0 {
+			time.Sleep(d)
+		}
+	}
 	rt.emit(id, obs.KindRun, node, id)
-	runNode(node)
+	rt.exec.runNode(node, id)
 	if node.wasSkipped {
 		rt.emit(id, obs.KindPoison, node, id)
 	} else {

@@ -6,6 +6,7 @@ import (
 	"nexuspp/internal/backend"
 	"nexuspp/internal/core"
 	"nexuspp/internal/depgraph"
+	"nexuspp/internal/faults"
 	"nexuspp/internal/obs"
 	"nexuspp/internal/service"
 	"nexuspp/internal/starss"
@@ -204,6 +205,8 @@ var (
 	ErrDependencyFailed = starss.ErrDependencyFailed
 	// ErrTaskPanicked marks a task whose body panicked.
 	ErrTaskPanicked = starss.ErrTaskPanicked
+	// ErrTaskTimeout marks a task attempt that exceeded Task.Timeout.
+	ErrTaskTimeout = starss.ErrTaskTimeout
 )
 
 // In declares a read-only dependency on k.
@@ -254,6 +257,10 @@ const (
 	EventRun    = obs.KindRun
 	EventFinish = obs.KindFinish
 	EventPoison = obs.KindPoison
+	// EventRetry records a failed attempt re-armed under the task's retry
+	// policy; EventFault records an injected fault firing in the body.
+	EventRetry = obs.KindRetry
+	EventFault = obs.KindFault
 )
 
 // WriteChromeTrace converts a drained event log to Chrome trace-viewer
@@ -297,3 +304,40 @@ func NewServiceClient(base string) *ServiceClient { return service.NewClient(bas
 // ServiceTaskFromSpec converts a traced task into its wire form, so traced
 // workloads can be submitted to a live daemon.
 func ServiceTaskFromSpec(spec TaskSpec) ServiceTaskSpec { return service.FromTraceSpec(spec) }
+
+// --- Fault injection ------------------------------------------------------
+
+// FaultInjector decides, deterministically per seed, whether an injected
+// fault fires at a given site for a given key. A nil injector is the
+// disabled state: every layer that consults one pays a single nil check,
+// and schedules are reproducible per seed. Wire one into RuntimeConfig or
+// ServiceConfig, or onto the client side with FaultTransport.
+type FaultInjector = faults.Injector
+
+// FaultPlan is a seed plus the armed rules — one reproducible schedule.
+type FaultPlan = faults.Plan
+
+// FaultRule arms one injection site with a probability or a fire-every-N
+// discipline, plus an optional injected delay.
+type FaultRule = faults.Rule
+
+// FaultSite is one injection point (task error/panic/hang, kick-off delay,
+// and the wire's drop/duplicate/delay sites).
+type FaultSite = faults.Site
+
+// FaultTransport is an http.RoundTripper injecting client-side wire faults
+// (dropped, duplicated, delayed requests and responses).
+type FaultTransport = faults.Transport
+
+// ErrFaultInjected is the root of every injected fault, for errors.Is.
+var ErrFaultInjected = faults.ErrInjected
+
+// NewFaultInjector compiles a plan; nil or empty plans yield the disabled
+// (nil) injector.
+func NewFaultInjector(plan *FaultPlan) *FaultInjector { return faults.New(plan) }
+
+// ParseFaultSpec compiles the textual rule syntax used by the nexusd and
+// nexusbench flags, e.g. "task_panic:0.05,resp_drop:every=4".
+func ParseFaultSpec(seed uint64, spec string) (*FaultInjector, error) {
+	return faults.ParseSpec(seed, spec)
+}
